@@ -1,0 +1,46 @@
+// Command fudjsh is an interactive shell for the FUDJ engine: it opens
+// a database preloaded with the synthetic datasets and the three
+// reference join libraries, then reads SQL statements (terminated by
+// ';') from stdin or -c and prints the results.
+//
+//	fudjsh -c "SELECT COUNT(*) FROM parks p, wildfires w
+//	           WHERE spatial_join(p.boundary, w.location, 32);"
+//	echo "EXPLAIN SELECT ...;" | fudjsh
+//	fudjsh            # interactive; \q quits, \joins lists joins
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fudj/internal/shell"
+)
+
+func main() {
+	var (
+		command = flag.String("c", "", "statements to execute and exit")
+		records = flag.Int("records", 2000, "records per demo dataset")
+		nodes   = flag.Int("nodes", 4, "simulated cluster nodes")
+		cores   = flag.Int("cores", 2, "cores per node")
+		noData  = flag.Bool("empty", false, "start with no demo datasets")
+	)
+	flag.Parse()
+
+	db, err := shell.Setup(shell.Config{
+		Nodes: *nodes, Cores: *cores, Records: *records, LoadDemo: !*noData,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fudjsh:", err)
+		os.Exit(1)
+	}
+
+	if *command != "" {
+		if err := shell.ExecuteAll(db, os.Stdout, *command); err != nil {
+			fmt.Fprintln(os.Stderr, "fudjsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	shell.Repl(db, os.Stdin, os.Stdout)
+}

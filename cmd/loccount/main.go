@@ -1,0 +1,24 @@
+// Command loccount prints the Table II productivity comparison: lines
+// of code of each FUDJ join implementation versus its hand-built
+// operator twin.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fudj/internal/bench"
+)
+
+func main() {
+	rows, err := bench.TableIILOC()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loccount:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-16s %8s %10s %8s\n", "Join Type", "FUDJ", "Built-in", "Ratio")
+	for _, r := range rows {
+		fmt.Printf("%-16s %5d loc %7d loc %7.2fx\n", r.Join, r.FUDJ, r.Builtin,
+			float64(r.Builtin)/float64(r.FUDJ))
+	}
+}

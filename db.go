@@ -1,0 +1,53 @@
+package fudj
+
+import (
+	"fudj/internal/cluster"
+	"fudj/internal/engine"
+)
+
+// DB is a database instance: catalog, optimizer, and the simulated
+// shared-nothing cluster queries execute on.
+type DB = engine.Database
+
+// Options configure a DB.
+type Options = engine.Options
+
+// ClusterConfig sizes the simulated cluster (nodes × cores per node).
+type ClusterConfig = cluster.Config
+
+// Result is the outcome of one executed statement.
+type Result = engine.Result
+
+// QueryStats carries operator-level counters for one execution.
+type QueryStats = engine.Stats
+
+// JoinMode selects how FUDJ predicates execute.
+type JoinMode = engine.JoinMode
+
+// Join execution modes.
+const (
+	// ModeFUDJ generates the FUDJ distributed plan (default).
+	ModeFUDJ = engine.ModeFUDJ
+	// ModeBuiltin routes FUDJ predicates to hand-built operators
+	// registered with DB.RegisterBuiltinJoin.
+	ModeBuiltin = engine.ModeBuiltin
+)
+
+// BuiltinJoinFunc is the signature of a hand-built distributed join
+// operator, the paper's "built-in" comparison arm.
+type BuiltinJoinFunc = engine.BuiltinJoinFunc
+
+// Open creates a database.
+func Open(opts Options) (*DB, error) { return engine.Open(opts) }
+
+// MustOpen is Open that panics on error.
+func MustOpen(opts Options) *DB { return engine.MustOpen(opts) }
+
+// DefaultOptions returns a laptop-scale cluster configuration
+// (4 nodes × 2 cores).
+func DefaultOptions() Options { return engine.DefaultOptions() }
+
+// OptionsFor returns options for an explicit cluster shape.
+func OptionsFor(nodes, coresPerNode int) Options {
+	return Options{Cluster: ClusterConfig{Nodes: nodes, CoresPerNode: coresPerNode}}
+}

@@ -1,0 +1,88 @@
+package fudj_test
+
+import (
+	"fmt"
+	"log"
+
+	"fudj"
+)
+
+// ExampleRunStandalone shows the single-machine development loop: an
+// equality join defined as a Spec and executed standalone.
+func ExampleRunStandalone() {
+	type summary struct{ N int64 }
+	type plan struct{ Buckets int64 }
+	join := fudj.Wrap(fudj.Spec[int64, int64, summary, plan]{
+		Name:         "equi",
+		NewSummary:   func() summary { return summary{} },
+		LocalAggLeft: func(k int64, s summary) summary { s.N++; return s },
+		GlobalAgg:    func(a, b summary) summary { return summary{N: a.N + b.N} },
+		Divide: func(l, r summary, _ []any) (plan, error) {
+			return plan{Buckets: max64(1, (l.N+r.N)/4)}, nil
+		},
+		AssignLeft: func(k int64, p plan, dst []fudj.BucketID) []fudj.BucketID {
+			return append(dst, int(((k%p.Buckets)+p.Buckets)%p.Buckets))
+		},
+		Verify: func(_ fudj.BucketID, l int64, _ fudj.BucketID, r int64, _ plan) bool {
+			return l == r
+		},
+	})
+
+	left := []any{int64(1), int64(2), int64(3)}
+	right := []any{int64(2), int64(3), int64(4)}
+	_, err := fudj.RunStandalone(join, left, right, nil, func(l, r any) {
+		fmt.Printf("%v = %v\n", l, r)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// 2 = 2
+	// 3 = 3
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ExampleDB_Execute shows the engine path: load data, install a
+// shipped join library, CREATE JOIN, and query through SQL.
+func ExampleDB_Execute() {
+	db := fudj.MustOpen(fudj.OptionsFor(2, 2))
+
+	schema := fudj.NewSchema(
+		fudj.Field{Name: "id", Kind: fudj.KindInt64},
+		fudj.Field{Name: "span", Kind: fudj.KindInterval},
+	)
+	recs := []fudj.Record{
+		{fudj.NewInt64(1), fudj.NewIntervalValue(fudj.Interval{Start: 0, End: 10})},
+		{fudj.NewInt64(2), fudj.NewIntervalValue(fudj.Interval{Start: 5, End: 15})},
+		{fudj.NewInt64(3), fudj.NewIntervalValue(fudj.Interval{Start: 100, End: 110})},
+	}
+	if err := db.CreateDataset("spans", schema, recs); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.InstallLibrary(fudj.IntervalLibrary()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Execute(`CREATE JOIN overlaps(a: interval, b: interval, n: int)
+		RETURNS boolean AS "oip.IntervalJoin" AT intervaljoins`); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Execute(`
+		SELECT a.id, b.id FROM spans a, spans b
+		WHERE a.id < b.id AND overlaps(a.span, b.span, 4)
+		ORDER BY a.id, b.id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%v overlaps %v\n", row[0], row[1])
+	}
+	// Output:
+	// 1 overlaps 2
+}

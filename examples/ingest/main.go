@@ -1,0 +1,107 @@
+// Ingest: the data lifecycle around the engine. Generate a synthetic
+// dataset, export it as TSV (the cmd/datagen format), import the TSV
+// back through the public API, run a FUDJ query over it, then persist
+// the query result as a binary dataset file and reload it — the
+// storage path a deployment would use between sessions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fudj"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "fudj-ingest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Generate taxi rides and export them as TSV.
+	rides := fudj.GenNYCTaxi(77, 3000)
+	tsvPath := filepath.Join(dir, "rides.tsv")
+	if err := exportTSV(tsvPath, rides); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %d rides to %s\n", len(rides.Records), tsvPath)
+
+	// 2. Import the TSV into a fresh database.
+	db := fudj.MustOpen(fudj.OptionsFor(2, 2))
+	f, err := os.Open(tsvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fudj.ImportTSV(db, "rides", rides.Schema, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	// 3. Run an interval FUDJ over the imported data and materialize
+	// the busiest overlap pairs.
+	if err := db.InstallLibrary(fudj.IntervalLibrary()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Execute(`CREATE JOIN overlapping_interval(a: interval, b: interval, n: int)
+		RETURNS boolean AS "oip.IntervalJoin" AT intervaljoins`); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Execute(`
+		SELECT a.id AS ride_a, COUNT(*) AS overlaps
+		INTO busy_rides
+		FROM rides a, rides b
+		WHERE a.vendor = 1 AND b.vendor = 2
+		  AND overlapping_interval(a.ride_interval, b.ride_interval, 500)
+		GROUP BY a.id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interval join: %d vendor-1 rides overlap vendor-2 rides (%v)\n",
+		len(res.Rows), res.Elapsed)
+
+	// 4. Persist the materialized result and reload it elsewhere.
+	binPath := filepath.Join(dir, "busy_rides.fudj")
+	if err := fudj.SaveDataset(db, "busy_rides", binPath); err != nil {
+		log.Fatal(err)
+	}
+	db2 := fudj.MustOpen(fudj.OptionsFor(1, 2))
+	if err := fudj.LoadDataset(db2, "busy_rides", binPath); err != nil {
+		log.Fatal(err)
+	}
+	check, err := db2.Execute(`SELECT COUNT(*), MAX(b.overlaps) FROM busy_rides b`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded in a fresh database: %v rows, busiest ride overlaps %v others\n",
+		check.Rows[0][0], check.Rows[0][1])
+}
+
+// exportTSV writes a generated dataset in cmd/datagen's TSV layout.
+func exportTSV(path string, ds *fudj.GeneratedDataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	names := make([]string, ds.Schema.Len())
+	for i, field := range ds.Schema.Fields {
+		names[i] = field.Name
+	}
+	if _, err := fmt.Fprintln(f, strings.Join(names, "\t")); err != nil {
+		return err
+	}
+	for _, rec := range ds.Records {
+		cells := make([]string, len(rec))
+		for i, v := range rec {
+			cells[i] = v.String()
+		}
+		if _, err := fmt.Fprintln(f, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

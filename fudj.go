@@ -1,0 +1,110 @@
+// Package fudj is the public API of this FUDJ implementation —
+// Flexible User-Defined Distributed Joins (Sevim et al., ICDE 2024) —
+// a framework that lets developers add new partition-based distributed
+// join algorithms to a database engine by writing a handful of small
+// functions instead of thousands of lines of engine code.
+//
+// # The programming model
+//
+// A join algorithm is a Spec: plain Go functions for the paper's three
+// phases. SUMMARIZE (LocalAgg/GlobalAgg + Divide) scans both inputs and
+// produces a partitioning plan; PARTITION (Assign) maps each record to
+// one or more integer buckets; COMBINE (Match/Verify/Dedup) pairs up
+// buckets, verifies candidate record pairs exactly, and suppresses the
+// duplicates multi-assignment can create.
+//
+//	join := fudj.Wrap(fudj.Spec[K, K, S, P]{
+//	    Name:         "my_join",
+//	    NewSummary:   ...,
+//	    LocalAggLeft: ...,
+//	    GlobalAgg:    ...,
+//	    Divide:       ...,
+//	    AssignLeft:   ...,
+//	    Verify:       ...,
+//	})
+//
+// The same Join value runs in two ways: standalone on one machine for
+// development and debugging (RunStandalone, §VI-D2 of the paper), and
+// installed into the distributed engine via a Library and the CREATE
+// JOIN statement, where the optimizer detects its name in query
+// predicates and generates the full distributed plan (§VI-C).
+//
+// # The engine
+//
+//	db := fudj.MustOpen(fudj.DefaultOptions())
+//	db.CreateDataset("parks", schema, records)
+//	db.InstallLibrary(lib)
+//	db.Execute(`CREATE JOIN my_join(a: geometry, b: geometry, n: int)
+//	            RETURNS boolean AS "pkg.MyJoin" AT mylib`)
+//	res, err := db.Execute(`SELECT COUNT(*) FROM parks p, fires f
+//	                        WHERE my_join(p.boundary, f.location, 64)`)
+//
+// The engine is a complete (if compact) distributed query processor: a
+// SQL front end, a rule-based optimizer with predicate pushdown, the
+// FUDJ rewrite, hash-join selection and self-join summary reuse, and a
+// simulated shared-nothing cluster that serializes all cross-node
+// traffic so network and serde costs are real.
+//
+// Three reference join libraries ship with the package — Spatial
+// (PBSM), Text-similarity (prefix filtering), and Overlapping Intervals
+// (OIPJoin-style) — together with hand-built operator twins used as the
+// paper's built-in comparison arm.
+package fudj
+
+import (
+	"fudj/internal/core"
+)
+
+// BucketID identifies one logical bucket produced by PARTITION.
+type BucketID = core.BucketID
+
+// Side distinguishes the two join inputs.
+type Side = core.Side
+
+// The two join sides.
+const (
+	Left  = core.Left
+	Right = core.Right
+)
+
+// DedupMode selects duplicate handling for multi-assign joins.
+type DedupMode = core.DedupMode
+
+// Duplicate handling strategies (see core.DedupMode).
+const (
+	DedupNone        = core.DedupNone
+	DedupAvoidance   = core.DedupAvoidance
+	DedupCustom      = core.DedupCustom
+	DedupElimination = core.DedupElimination
+)
+
+// Spec is the typed definition of a join algorithm; see core.Spec.
+type Spec[KL, KR, S, P any] = core.Spec[KL, KR, S, P]
+
+// Join is the engine-facing join contract produced by Wrap.
+type Join = core.Join
+
+// Descriptor carries a join's static optimizer-visible properties.
+type Descriptor = core.Descriptor
+
+// Library is an installable bundle of join algorithms.
+type Library = core.Library
+
+// Constructor builds a fresh Join instance per query.
+type Constructor = core.Constructor
+
+// StandaloneStats reports what a standalone execution did.
+type StandaloneStats = core.Stats
+
+// Wrap validates a Spec and returns the engine-facing Join.
+func Wrap[KL, KR, S, P any](spec Spec[KL, KR, S, P]) Join { return core.Wrap(spec) }
+
+// NewLibrary creates an empty join library with the given name.
+func NewLibrary(name string) *Library { return core.NewLibrary(name) }
+
+// RunStandalone executes a join on one machine — the paper's
+// single-machine prototype for developing and debugging new join
+// algorithms before installing them into the engine.
+func RunStandalone(j Join, left, right []any, params []any, emit func(l, r any)) (StandaloneStats, error) {
+	return core.RunStandalone(j, left, right, params, emit)
+}

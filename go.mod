@@ -1,0 +1,3 @@
+module fudj
+
+go 1.24

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig runs every experiment at a scale where the whole suite
+// completes in seconds.
+func tinyConfig() Config {
+	return Config{Scale: 0.02, Nodes: 2, Cores: 1, Seed: 7, Budget: 30 * time.Second}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := tinyConfig()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(e.ID, cfg, &buf); err != nil {
+				t.Fatalf("%s: %v\noutput:\n%s", e.ID, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", tinyConfig(), &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestExperimentIDsCoverPaper(t *testing.T) {
+	want := []string{"table1", "table2", "fig1", "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig12c"}
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestCountLOC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	src := `// a comment
+package x
+
+/* block
+comment */
+func F() int { // trailing comment counts as code
+	return 1
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountLOC(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// package x, func F..., return 1, closing brace.
+	if n != 4 {
+		t.Errorf("CountLOC = %d, want 4", n)
+	}
+	if _, err := CountLOC(filepath.Join(dir, "missing.go")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestTableIILOCOrdering(t *testing.T) {
+	rows, err := TableIILOC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FUDJ <= 0 || r.Builtin <= 0 {
+			t.Errorf("%s: zero LOC (%d / %d)", r.Join, r.FUDJ, r.Builtin)
+		}
+		// The paper's productivity claim: the FUDJ implementation is
+		// smaller than the built-in operator.
+		if r.FUDJ >= r.Builtin {
+			t.Errorf("%s: FUDJ %d loc >= built-in %d loc", r.Join, r.FUDJ, r.Builtin)
+		}
+	}
+}
+
+func TestPrintTable(t *testing.T) {
+	var buf bytes.Buffer
+	printTable(&buf, []string{"a", "bbbb"}, [][]string{{"xx", "y"}})
+	out := buf.String()
+	if !strings.Contains(out, "a ") || !strings.Contains(out, "xx") {
+		t.Errorf("printTable output:\n%s", out)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		2 * time.Second:        "2.00s",
+		15 * time.Millisecond:  "15.0ms",
+		250 * time.Microsecond: "250µs",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Errorf("fmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig. 11: the effect of the number of buckets (spatial, interval) and
+// of the similarity threshold (text-similarity) on execution time, at
+// several core counts.
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Effect of bucket count and similarity threshold (Fig. 11)",
+		Paper: "U-shaped cost in bucket count; text-similarity cost explodes as the threshold drops",
+		Run:   runFig11,
+	})
+}
+
+func runFig11(cfg Config, w io.Writer) error {
+	coreSweep := []int{1, 2, 4}
+
+	// (a) Spatial: sweep the grid size.
+	fmt.Fprintln(w, "-- Fig. 11a: spatial join vs number of buckets (grid n, buckets = n^2) --")
+	{
+		grids := []int{2, 4, 8, 16, 32, 64}
+		header := []string{"grid n"}
+		for _, c := range coreSweep {
+			header = append(header, fmt.Sprintf("%d cores", cfg.Nodes*c))
+		}
+		var rows [][]string
+		for _, n := range grids {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, cores := range coreSweep {
+				c := cfg
+				c.Cores = cores
+				e, err := newEnv(c, c.scaled(2000), c.scaled(4000), 0, 0)
+				if err != nil {
+					return err
+				}
+				r := timedQuery(e.db, fmt.Sprintf(
+					`SELECT COUNT(*) FROM parks p, wildfires w WHERE spatial_join(p.boundary, w.location, %d)`, n))
+				if r.err != nil {
+					return r.err
+				}
+				row = append(row, r.String())
+			}
+			rows = append(rows, row)
+		}
+		printTable(w, header, rows)
+	}
+
+	// (b) Interval: sweep the granule count.
+	fmt.Fprintln(w, "-- Fig. 11b: interval join vs number of buckets (granules) --")
+	{
+		granules := []int{1, 10, 100, 500, 1000, 2500}
+		header := []string{"granules"}
+		for _, c := range coreSweep {
+			header = append(header, fmt.Sprintf("%d cores", cfg.Nodes*c))
+		}
+		var rows [][]string
+		for _, n := range granules {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, cores := range coreSweep {
+				c := cfg
+				c.Cores = cores
+				e, err := newEnv(c, 0, 0, c.scaled(5000), 0)
+				if err != nil {
+					return err
+				}
+				r := timedQuery(e.db, fmt.Sprintf(
+					`SELECT COUNT(*) FROM nyctaxi n1, nyctaxi n2
+					 WHERE n1.vendor = 1 AND n2.vendor = 2
+					 AND overlapping_interval(n1.ride_interval, n2.ride_interval, %d)`, n))
+				if r.err != nil {
+					return r.err
+				}
+				row = append(row, r.String())
+			}
+			rows = append(rows, row)
+		}
+		printTable(w, header, rows)
+	}
+
+	// (c) Text-similarity: sweep the threshold.
+	fmt.Fprintln(w, "-- Fig. 11c: text-similarity join vs similarity threshold --")
+	{
+		thresholds := []float64{0.95, 0.9, 0.8, 0.7, 0.6, 0.5}
+		header := []string{"threshold"}
+		for _, c := range coreSweep {
+			header = append(header, fmt.Sprintf("%d cores", cfg.Nodes*c))
+		}
+		var rows [][]string
+		for _, t := range thresholds {
+			row := []string{fmt.Sprintf("%.2f", t)}
+			for _, cores := range coreSweep {
+				c := cfg
+				c.Cores = cores
+				e, err := newEnv(c, 0, 0, 0, c.scaled(3000))
+				if err != nil {
+					return err
+				}
+				r := timedQuery(e.db, fmt.Sprintf(
+					`SELECT COUNT(*) FROM amazonreview r1, amazonreview r2
+					 WHERE r1.overall = 5 AND r2.overall = 4
+					 AND text_similarity_join(r1.review, r2.review, %g)`, t))
+				if r.err != nil {
+					return r.err
+				}
+				row = append(row, r.String())
+			}
+			rows = append(rows, row)
+		}
+		printTable(w, header, rows)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// CountLOC returns the number of non-blank, non-comment lines in a Go
+// source file — the productivity metric of Table II.
+func CountLOC(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	count := 0
+	inBlock := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if inBlock {
+			if idx := strings.Index(line, "*/"); idx >= 0 {
+				line = strings.TrimSpace(line[idx+2:])
+				inBlock = false
+			} else {
+				continue
+			}
+		}
+		if strings.HasPrefix(line, "/*") {
+			if !strings.Contains(line, "*/") {
+				inBlock = true
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		count++
+	}
+	return count, sc.Err()
+}
+
+// repoRoot locates the module root from this source file's position,
+// so LOC counting works regardless of the working directory.
+func repoRoot() (string, error) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("bench: cannot locate source tree")
+	}
+	// file is <root>/internal/bench/loc.go
+	return filepath.Dir(filepath.Dir(filepath.Dir(file))), nil
+}
+
+// LOCRow is one Table II row.
+type LOCRow struct {
+	Join    string
+	FUDJ    int
+	Builtin int
+}
+
+// TableIILOC counts the per-join implementation sizes: the FUDJ library
+// source versus the hand-built operator source.
+func TableIILOC() ([]LOCRow, error) {
+	root, err := repoRoot()
+	if err != nil {
+		return nil, err
+	}
+	pairs := []struct {
+		name          string
+		fudj, builtin string
+	}{
+		{"Spatial", "internal/joins/spatialjoin/spatialjoin.go", "internal/joins/builtin/spatial.go"},
+		{"Interval", "internal/joins/intervaljoin/intervaljoin.go", "internal/joins/builtin/interval.go"},
+		{"Text-similarity", "internal/joins/textsim/textsim.go", "internal/joins/builtin/textsim.go"},
+	}
+	var out []LOCRow
+	for _, p := range pairs {
+		f, err := CountLOC(filepath.Join(root, p.fudj))
+		if err != nil {
+			return nil, err
+		}
+		b, err := CountLOC(filepath.Join(root, p.builtin))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LOCRow{Join: p.name, FUDJ: f, Builtin: b})
+	}
+	return out, nil
+}

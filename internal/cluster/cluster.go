@@ -1,0 +1,393 @@
+// Package cluster simulates the shared-nothing execution substrate the
+// paper runs on (a 12-worker AsterixDB cluster). Data lives in
+// partitions; partitions map onto nodes; every record that moves
+// between partitions on *different* nodes is serialized through
+// internal/wire and counted, so network volume and serde cost are real,
+// measurable quantities rather than artifacts of in-process pointer
+// passing.
+//
+// Parallelism model: the unit of parallel work is the partition. A
+// cluster with N nodes and C cores per node runs N*C partitions, each
+// processed by its own goroutine. Wall-clock speedup saturates at the
+// host's physical cores, so the cluster also records per-partition busy
+// time; MaxBusy approximates the makespan on ideal hardware and is what
+// the scalability experiments report alongside wall time.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fudj/internal/types"
+)
+
+// Config sizes the simulated cluster.
+type Config struct {
+	Nodes        int // number of shared-nothing nodes
+	CoresPerNode int // worker partitions per node
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.CoresPerNode < 1 {
+		return fmt.Errorf("cluster: need >=1 node and >=1 core, got %d/%d", c.Nodes, c.CoresPerNode)
+	}
+	return nil
+}
+
+// Partitions returns the total partition count (total parallelism).
+func (c Config) Partitions() int { return c.Nodes * c.CoresPerNode }
+
+// Data is a partitioned record set: one slice per partition.
+type Data [][]types.Record
+
+// Rows returns the total record count across partitions.
+func (d Data) Rows() int {
+	n := 0
+	for _, p := range d {
+		n += len(p)
+	}
+	return n
+}
+
+// Flatten concatenates all partitions (used at query output).
+func (d Data) Flatten() []types.Record {
+	out := make([]types.Record, 0, d.Rows())
+	for _, p := range d {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Metrics accumulates the cluster's cost counters for one query.
+type Metrics struct {
+	mu             sync.Mutex
+	bytesShuffled  int64
+	recsShuffled   int64
+	bytesBroadcast int64
+	busy           []time.Duration
+	tasks          int64
+}
+
+func newMetrics(parts int) *Metrics {
+	return &Metrics{busy: make([]time.Duration, parts)}
+}
+
+// BytesShuffled returns the bytes serialized across node boundaries.
+func (m *Metrics) BytesShuffled() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesShuffled
+}
+
+// RecordsShuffled returns the records moved across node boundaries.
+func (m *Metrics) RecordsShuffled() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recsShuffled
+}
+
+// BytesBroadcast returns the bytes broadcast to all nodes (plans etc.).
+func (m *Metrics) BytesBroadcast() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesBroadcast
+}
+
+// MaxBusy returns the largest accumulated per-partition busy time: the
+// query's makespan on hardware with one real core per partition.
+func (m *Metrics) MaxBusy() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max time.Duration
+	for _, b := range m.busy {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// TotalBusy returns the summed busy time over all partitions.
+func (m *Metrics) TotalBusy() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum time.Duration
+	for _, b := range m.busy {
+		sum += b
+	}
+	return sum
+}
+
+// Tasks returns the number of partition tasks executed.
+func (m *Metrics) Tasks() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tasks
+}
+
+func (m *Metrics) addBusy(part int, d time.Duration) {
+	m.mu.Lock()
+	m.busy[part] += d
+	m.tasks++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addShuffle(bytes, recs int64) {
+	m.mu.Lock()
+	m.bytesShuffled += bytes
+	m.recsShuffled += recs
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addBroadcast(bytes int64) {
+	m.mu.Lock()
+	m.bytesBroadcast += bytes
+	m.mu.Unlock()
+}
+
+// Cluster is one simulated deployment. It is safe for a single query
+// at a time; the engine creates one per query execution so metrics are
+// per-query.
+type Cluster struct {
+	cfg     Config
+	metrics *Metrics
+}
+
+// New builds a cluster, panicking on invalid configuration (a harness
+// bug, not a runtime condition).
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cluster{cfg: cfg, metrics: newMetrics(cfg.Partitions())}
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Metrics returns the cluster's cost counters.
+func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// Partitions returns the total partition count.
+func (c *Cluster) Partitions() int { return c.cfg.Partitions() }
+
+// NodeOf returns the node hosting a partition.
+func (c *Cluster) NodeOf(part int) int { return part / c.cfg.CoresPerNode }
+
+// NewData allocates an empty partitioned dataset.
+func (c *Cluster) NewData() Data { return make(Data, c.Partitions()) }
+
+// Scatter distributes records round-robin over all partitions — the
+// initial load placement of a dataset.
+func (c *Cluster) Scatter(recs []types.Record) Data {
+	data := c.NewData()
+	p := c.Partitions()
+	for i, r := range recs {
+		data[i%p] = append(data[i%p], r)
+	}
+	return data
+}
+
+// Run executes f once per partition in parallel and returns the
+// per-partition outputs. Busy time is accounted per partition.
+func (c *Cluster) Run(data Data, f func(part int, in []types.Record) ([]types.Record, error)) (Data, error) {
+	if len(data) != c.Partitions() {
+		return nil, fmt.Errorf("cluster: data has %d partitions, cluster has %d", len(data), c.Partitions())
+	}
+	out := c.NewData()
+	errs := make([]error, c.Partitions())
+	var wg sync.WaitGroup
+	for part := 0; part < c.Partitions(); part++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			start := time.Now()
+			res, err := f(part, data[part])
+			c.metrics.addBusy(part, time.Since(start))
+			out[part] = res
+			errs[part] = err
+		}(part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunValues executes f once per partition in parallel for tasks that
+// produce an arbitrary value instead of records (e.g. local summaries).
+func RunValues[T any](c *Cluster, data Data, f func(part int, in []types.Record) (T, error)) ([]T, error) {
+	if len(data) != c.Partitions() {
+		return nil, fmt.Errorf("cluster: data has %d partitions, cluster has %d", len(data), c.Partitions())
+	}
+	out := make([]T, c.Partitions())
+	errs := make([]error, c.Partitions())
+	var wg sync.WaitGroup
+	for part := 0; part < c.Partitions(); part++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			start := time.Now()
+			res, err := f(part, data[part])
+			c.metrics.addBusy(part, time.Since(start))
+			out[part] = res
+			errs[part] = err
+		}(part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Exchange repartitions data: route maps each record to a destination
+// partition. Records crossing a node boundary are serialized, counted,
+// and deserialized; intra-node moves are free, as on a real cluster.
+func (c *Cluster) Exchange(data Data, route func(part int, r types.Record) int) (Data, error) {
+	p := c.Partitions()
+	if len(data) != p {
+		return nil, fmt.Errorf("cluster: data has %d partitions, cluster has %d", len(data), p)
+	}
+	// outbox[src][dst] collects records by destination.
+	outbox := make([][][]types.Record, p)
+	_, err := c.Run(data, func(part int, in []types.Record) ([]types.Record, error) {
+		box := make([][]types.Record, p)
+		for _, r := range in {
+			dst := route(part, r)
+			if dst < 0 || dst >= p {
+				return nil, fmt.Errorf("cluster: route produced partition %d of %d", dst, p)
+			}
+			box[dst] = append(box[dst], r)
+		}
+		outbox[part] = box
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.deliver(outbox)
+}
+
+// ExchangeMulti repartitions data where each record may be sent to
+// several destination partitions (multicast). It is the primitive
+// behind the balanced theta operator: records travel only to the
+// partitions that own a bucket pair needing them, instead of a full
+// broadcast. An empty destination list drops the record.
+func (c *Cluster) ExchangeMulti(data Data, route func(part int, r types.Record) []int) (Data, error) {
+	p := c.Partitions()
+	if len(data) != p {
+		return nil, fmt.Errorf("cluster: data has %d partitions, cluster has %d", len(data), p)
+	}
+	outbox := make([][][]types.Record, p)
+	_, err := c.Run(data, func(part int, in []types.Record) ([]types.Record, error) {
+		box := make([][]types.Record, p)
+		for _, r := range in {
+			for _, dst := range route(part, r) {
+				if dst < 0 || dst >= p {
+					return nil, fmt.Errorf("cluster: route produced partition %d of %d", dst, p)
+				}
+				box[dst] = append(box[dst], r)
+			}
+		}
+		outbox[part] = box
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.deliver(outbox)
+}
+
+// Replicate copies every record of data to every partition — the
+// broadcast side of a theta (multi-join) bucket matching stage.
+func (c *Cluster) Replicate(data Data) (Data, error) {
+	p := c.Partitions()
+	if len(data) != p {
+		return nil, fmt.Errorf("cluster: data has %d partitions, cluster has %d", len(data), p)
+	}
+	outbox := make([][][]types.Record, p)
+	_, err := c.Run(data, func(part int, in []types.Record) ([]types.Record, error) {
+		box := make([][]types.Record, p)
+		for dst := 0; dst < p; dst++ {
+			box[dst] = in
+		}
+		outbox[part] = box
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.deliver(outbox)
+}
+
+// deliver moves outbox[src][dst] into the destination partitions,
+// serializing cross-node traffic.
+func (c *Cluster) deliver(outbox [][][]types.Record) (Data, error) {
+	p := c.Partitions()
+	out := c.NewData()
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			batch := outbox[src][dst]
+			if len(batch) == 0 {
+				continue
+			}
+			if c.NodeOf(src) != c.NodeOf(dst) {
+				buf := types.EncodeRecords(batch)
+				c.metrics.addShuffle(int64(len(buf)), int64(len(batch)))
+				decoded, err := types.DecodeRecords(buf)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: shuffle decode: %w", err)
+				}
+				batch = decoded
+			}
+			out[dst] = append(out[dst], batch...)
+		}
+	}
+	return out, nil
+}
+
+// ExchangeHash repartitions by a hash of a record-derived key.
+func (c *Cluster) ExchangeHash(data Data, key func(r types.Record) uint64) (Data, error) {
+	p := uint64(c.Partitions())
+	return c.Exchange(data, func(_ int, r types.Record) int {
+		return int(key(r) % p)
+	})
+}
+
+// ExchangeRandom repartitions round-robin (the "random partitioning"
+// AsterixDB applies to one side of a theta join, §VII-C).
+func (c *Cluster) ExchangeRandom(data Data) (Data, error) {
+	p := c.Partitions()
+	var mu sync.Mutex
+	next := 0
+	return c.Exchange(data, func(_ int, _ types.Record) int {
+		mu.Lock()
+		defer mu.Unlock()
+		next = (next + 1) % p
+		return next
+	})
+}
+
+// Broadcast accounts for shipping one opaque blob (e.g. an encoded
+// partitioning plan) from the coordinator to every node.
+func (c *Cluster) Broadcast(blob []byte) {
+	c.metrics.addBroadcast(int64(len(blob)) * int64(c.cfg.Nodes))
+}
+
+// GatherBytes accounts for shipping per-partition blobs (e.g. encoded
+// local summaries) to the coordinator.
+func (c *Cluster) GatherBytes(blobs [][]byte) {
+	var total int64
+	for _, b := range blobs {
+		total += int64(len(b))
+	}
+	c.metrics.addBroadcast(total)
+}

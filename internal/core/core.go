@@ -1,0 +1,206 @@
+// Package core implements the FUDJ programming model — the paper's
+// primary contribution. A join library author implements the small set
+// of functions from §IV (SUMMARIZE, DIVIDE, ASSIGN, MATCH, VERIFY,
+// DEDUP) against plain Go values; the engine supplies everything else:
+// distributed two-step aggregation, partitioning, bucket matching,
+// verification, and duplicate handling.
+//
+// The package is deliberately independent of the engine's value system:
+// like the paper's standalone prototype (§VI-D2), a Join here can be
+// executed by the in-process RunStandalone driver for development and
+// debugging, and then installed unchanged into the distributed engine,
+// which bridges its native records to these plain values through the
+// translation layer of Fig. 7 (see internal/engine).
+package core
+
+import "fmt"
+
+// BucketID identifies one logical bucket produced by the PARTITION
+// phase (Definition 5 in the paper).
+type BucketID = int
+
+// Side distinguishes the two inputs of a join. Several model functions
+// may be implemented differently per side (e.g. different key types).
+type Side int
+
+// The two join sides.
+const (
+	Left Side = iota
+	Right
+)
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	if s == Left {
+		return "left"
+	}
+	return "right"
+}
+
+// Summary is the opaque per-side aggregation state built during
+// SUMMARIZE (Definition 2). Concrete joins use their own types; the
+// engine moves summaries between nodes with the join's codec.
+type Summary = any
+
+// PPlan is the opaque partitioning plan returned by DIVIDE
+// (Definition 4) and broadcast to every node.
+type PPlan = any
+
+// DedupMode selects how the framework handles the duplicate result
+// pairs that multi-assign partitioning can produce (§III-B, Fig. 5).
+type DedupMode int
+
+const (
+	// DedupNone disables duplicate handling: the join either is
+	// single-assign (no duplicates possible) or the caller accepts
+	// duplicates for speed.
+	DedupNone DedupMode = iota
+	// DedupAvoidance is the framework default: a matched pair is kept
+	// only in its canonical bucket pair, computed by re-running assign
+	// on both keys (no post-join shuffle needed).
+	DedupAvoidance
+	// DedupCustom delegates to the join's own Dedup function, e.g. the
+	// Reference Point method for spatial joins.
+	DedupCustom
+	// DedupElimination lets duplicates flow out of the join and removes
+	// them with a distinct stage afterwards (requires an extra shuffle;
+	// kept for the Fig. 12a comparison).
+	DedupElimination
+)
+
+// String implements fmt.Stringer.
+func (m DedupMode) String() string {
+	switch m {
+	case DedupNone:
+		return "none"
+	case DedupAvoidance:
+		return "avoidance"
+	case DedupCustom:
+		return "custom"
+	case DedupElimination:
+		return "elimination"
+	}
+	return fmt.Sprintf("dedup(%d)", int(m))
+}
+
+// Descriptor carries the static properties of a join library that the
+// query optimizer inspects (§VI-C): whether the MATCH function is the
+// default equality (enabling the Hash Join operator and hash
+// partitioning), whether both sides are summarized identically
+// (enabling the self-join optimization), and how duplicates are handled.
+type Descriptor struct {
+	// Name is the algorithm name, e.g. "spatial_pbsm".
+	Name string
+	// Params is the number of extra scalar parameters after the two
+	// keys in the join predicate's signature (e.g. 1 for the similarity
+	// threshold).
+	Params int
+	// DefaultMatch reports that MATCH is bucket equality, so the
+	// optimizer may compel a Hash Join for bucket matching. When false
+	// the join is a multi-join and needs the theta operator.
+	DefaultMatch bool
+	// SymmetricSummarize reports that both sides share one SUMMARIZE
+	// implementation, enabling summary reuse on self-joins.
+	SymmetricSummarize bool
+	// Dedup selects the duplicate handling strategy.
+	Dedup DedupMode
+	// LocalJoin reports that the join supplies a custom local bucket
+	// joining algorithm (§VII-F), which the executor uses instead of
+	// the nested verify loop.
+	LocalJoin bool
+}
+
+// Join is the engine-facing contract of a FUDJ library: the six model
+// functions plus codecs for the two opaque states. Library authors do
+// not usually implement this directly — they implement the typed
+// interfaces in typed.go and let Wrap build the translation layer —
+// but nothing stops a power user from implementing it natively.
+type Join interface {
+	// Descriptor returns the static join properties.
+	Descriptor() Descriptor
+
+	// NewSummary returns the identity summary for one side.
+	NewSummary(side Side) Summary
+	// LocalAggregate folds one key into a node-local summary and
+	// returns the updated summary (the paper's local_aggregate).
+	LocalAggregate(side Side, key any, s Summary) Summary
+	// GlobalAggregate merges two summaries (the paper's
+	// global_aggregate). It must be associative and commutative.
+	GlobalAggregate(side Side, a, b Summary) Summary
+
+	// Divide combines both global summaries and any query parameters
+	// into the partitioning plan (the paper's divide).
+	Divide(left, right Summary, params []any) (PPlan, error)
+
+	// Assign appends the bucket ids for key to dst and returns the
+	// extended slice (the paper's assign). One id = single-assign;
+	// several = multi-assign.
+	Assign(side Side, key any, plan PPlan, dst []BucketID) []BucketID
+
+	// Match reports whether two buckets may hold joining records
+	// (the paper's match). Implementations with DefaultMatch true must
+	// return b1 == b2.
+	Match(b1, b2 BucketID) bool
+
+	// Verify reports whether a candidate pair truly joins
+	// (the paper's verify).
+	Verify(b1 BucketID, leftKey any, b2 BucketID, rightKey any, plan PPlan) bool
+
+	// Dedup reports whether the pair should be emitted from this bucket
+	// pair (true = keep). Only consulted under DedupAvoidance/DedupCustom.
+	Dedup(b1 BucketID, leftKey any, b2 BucketID, rightKey any, plan PPlan) bool
+
+	// LocalJoin runs the join's custom local bucket-joining algorithm
+	// over one matched bucket pair, emitting verified position pairs.
+	// Only called when Descriptor().LocalJoin is true.
+	LocalJoin(b1 BucketID, leftKeys []any, b2 BucketID, rightKeys []any, plan PPlan, emit func(i, j int))
+
+	// EncodeSummary and DecodeSummary serialize summaries for network
+	// transfer between the local and global aggregation steps.
+	EncodeSummary(s Summary) ([]byte, error)
+	DecodeSummary(buf []byte) (Summary, error)
+
+	// EncodePlan and DecodePlan serialize the partitioning plan for
+	// broadcast to all nodes.
+	EncodePlan(p PPlan) ([]byte, error)
+	DecodePlan(buf []byte) (PPlan, error)
+}
+
+// DefaultMatch is the framework-provided MATCH: plain bucket equality,
+// which turns the COMBINE phase into a single-join that the optimizer
+// can execute with its hash join operator.
+func DefaultMatch(b1, b2 BucketID) bool { return b1 == b2 }
+
+// CanonicalPair returns the first bucket pair (in left-outer,
+// right-inner order over the assign lists) that MATCH accepts — the
+// canonical bucket pair in which a joining record pair is reported
+// under duplicate avoidance. ok is false when no pair matches, which
+// only happens for a non-deterministic Assign (a library bug).
+func CanonicalPair(j Join, lb, rb []BucketID) (b1, b2 BucketID, ok bool) {
+	for _, x := range lb {
+		for _, y := range rb {
+			if j.Match(x, y) {
+				return x, y, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// DefaultDedup implements the framework's duplicate-avoidance method
+// (§IV-C): re-run assign on both keys, and keep the pair only in the
+// canonical bucket pair. Requires no extra shuffle stage. Engines that
+// already hold the assign lists (the distributed executor carries them
+// through the partition phase) use CanonicalPair directly and skip the
+// re-assignment.
+func DefaultDedup(j Join, b1 BucketID, leftKey any, b2 BucketID, rightKey any, plan PPlan) bool {
+	lb := j.Assign(Left, leftKey, plan, nil)
+	rb := j.Assign(Right, rightKey, plan, nil)
+	x, y, ok := CanonicalPair(j, lb, rb)
+	if !ok {
+		// The current pair was produced, so a matching pair must exist;
+		// err on the side of keeping the result.
+		return true
+	}
+	return x == b1 && y == b2
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Constructor builds a fresh Join instance. The engine instantiates one
+// per query so libraries may keep per-query state without locking.
+type Constructor func() Join
+
+// Library is an installable bundle of join algorithms — the analogue of
+// the JAR package uploaded to AsterixDB in §VI-A. Classes are looked up
+// by name in CREATE JOIN's "AS <class> AT <library>" clause.
+type Library struct {
+	name string
+
+	mu      sync.RWMutex
+	classes map[string]Constructor
+}
+
+// NewLibrary creates an empty library with the given name.
+func NewLibrary(name string) *Library {
+	if name == "" {
+		panic("core: library needs a name")
+	}
+	return &Library{name: name, classes: make(map[string]Constructor)}
+}
+
+// Name returns the library name.
+func (l *Library) Name() string { return l.name }
+
+// Register adds a join class under the given class name. Registering
+// the same class twice is a packaging bug and returns an error.
+func (l *Library) Register(class string, c Constructor) error {
+	if class == "" || c == nil {
+		return fmt.Errorf("core: library %q: empty class name or nil constructor", l.name)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.classes[class]; dup {
+		return fmt.Errorf("core: library %q already has class %q", l.name, class)
+	}
+	l.classes[class] = c
+	return nil
+}
+
+// MustRegister is Register that panics on error, for package-level
+// library construction.
+func (l *Library) MustRegister(class string, c Constructor) {
+	if err := l.Register(class, c); err != nil {
+		panic(err)
+	}
+}
+
+// Resolve returns the constructor for a class name.
+func (l *Library) Resolve(class string) (Constructor, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	c, ok := l.classes[class]
+	if !ok {
+		return nil, fmt.Errorf("core: library %q has no class %q (have %v)", l.name, class, l.classNamesLocked())
+	}
+	return c, nil
+}
+
+// Classes returns the sorted class names in the library.
+func (l *Library) Classes() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.classNamesLocked()
+}
+
+func (l *Library) classNamesLocked() []string {
+	names := make([]string, 0, len(l.classes))
+	for n := range l.classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats reports what the standalone executor did, mirroring the
+// counters the distributed engine keeps. Tests and benchmarks use it
+// to assert pruning behaviour (e.g. candidate pairs versus results).
+type Stats struct {
+	LeftRecords   int // input cardinality, left side
+	RightRecords  int // input cardinality, right side
+	LeftBuckets   int // distinct buckets on the left
+	RightBuckets  int // distinct buckets on the right
+	BucketPairs   int // bucket pairs passed by MATCH
+	Candidates    int // record pairs handed to VERIFY
+	Verified      int // pairs passing VERIFY
+	Deduped       int // pairs suppressed by duplicate handling
+	Results       int // pairs emitted
+	SummaryReused bool
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("left=%d right=%d buckets=%d/%d pairs=%d cand=%d verified=%d deduped=%d results=%d",
+		s.LeftRecords, s.RightRecords, s.LeftBuckets, s.RightBuckets,
+		s.BucketPairs, s.Candidates, s.Verified, s.Deduped, s.Results)
+}
+
+// RunStandalone executes a FUDJ algorithm on one machine, exactly as
+// the paper's standalone prototype (§VI-D2): read the data, run
+// SUMMARIZE / DIVIDE / ASSIGN / MATCH / VERIFY / DEDUP in order, and
+// emit every joined key pair. It is the reference semantics that the
+// distributed engine must agree with, and the debugging harness for
+// new join libraries.
+//
+// When left and right are the same slice (a self-join) and the join is
+// SymmetricSummarize, the summary is computed once and reused, matching
+// the self-join optimization of §VI-C.
+func RunStandalone(j Join, left, right []any, params []any, emit func(l, r any)) (Stats, error) {
+	var stats Stats
+	stats.LeftRecords = len(left)
+	stats.RightRecords = len(right)
+
+	// SUMMARIZE: local aggregation (one "node"), then a trivial global
+	// merge with the identity summary so both aggregate paths execute.
+	desc := j.Descriptor()
+	summarize := func(side Side, data []any) Summary {
+		s := j.NewSummary(side)
+		for _, k := range data {
+			s = j.LocalAggregate(side, k, s)
+		}
+		return j.GlobalAggregate(side, s, j.NewSummary(side))
+	}
+	ls := summarize(Left, left)
+	var rs Summary
+	if sameSlice(left, right) && desc.SymmetricSummarize {
+		rs = ls
+		stats.SummaryReused = true
+	} else {
+		rs = summarize(Right, right)
+	}
+
+	// DIVIDE.
+	plan, err := j.Divide(ls, rs, params)
+	if err != nil {
+		return stats, fmt.Errorf("divide: %w", err)
+	}
+
+	// PARTITION: bucket both sides.
+	type entry struct {
+		key any
+		idx int
+	}
+	bucketize := func(side Side, data []any) map[BucketID][]entry {
+		buckets := make(map[BucketID][]entry)
+		var ids []BucketID
+		for i, k := range data {
+			ids = j.Assign(side, k, plan, ids[:0])
+			for _, id := range ids {
+				buckets[id] = append(buckets[id], entry{key: k, idx: i})
+			}
+		}
+		return buckets
+	}
+	lb := bucketize(Left, left)
+	rb := bucketize(Right, right)
+	stats.LeftBuckets = len(lb)
+	stats.RightBuckets = len(rb)
+
+	// COMBINE: match buckets, verify pairs, handle duplicates.
+	elim := desc.Dedup == DedupElimination
+	var seen map[[2]int]struct{}
+	if elim {
+		seen = make(map[[2]int]struct{})
+	}
+	applyDedup := desc.Dedup == DedupAvoidance || desc.Dedup == DedupCustom
+
+	// accept applies duplicate handling to one verified pair and emits.
+	accept := func(b1 BucketID, le entry, b2 BucketID, re entry) {
+		if applyDedup && !j.Dedup(b1, le.key, b2, re.key, plan) {
+			stats.Deduped++
+			return
+		}
+		if elim {
+			pair := [2]int{le.idx, re.idx}
+			if _, dup := seen[pair]; dup {
+				stats.Deduped++
+				return
+			}
+			seen[pair] = struct{}{}
+		}
+		stats.Results++
+		emit(le.key, re.key)
+	}
+
+	useLocalJoin := desc.LocalJoin
+	joinBuckets := func(b1 BucketID, les []entry, b2 BucketID, res []entry) {
+		stats.BucketPairs++
+		if useLocalJoin {
+			// Custom local bucket joining (§VII-F): the library emits the
+			// verified position pairs itself.
+			lk := make([]any, len(les))
+			for i, e := range les {
+				lk[i] = e.key
+			}
+			rk := make([]any, len(res))
+			for i, e := range res {
+				rk[i] = e.key
+			}
+			stats.Candidates += len(les) * len(res)
+			j.LocalJoin(b1, lk, b2, rk, plan, func(i, k int) {
+				stats.Verified++
+				accept(b1, les[i], b2, res[k])
+			})
+			return
+		}
+		for _, le := range les {
+			for _, re := range res {
+				stats.Candidates++
+				if !j.Verify(b1, le.key, b2, re.key, plan) {
+					continue
+				}
+				stats.Verified++
+				accept(b1, le, b2, re)
+			}
+		}
+	}
+
+	if desc.DefaultMatch {
+		// Single-join: only identical bucket ids match (hash-join path).
+		for _, b := range sortedBuckets(lb) {
+			if res, ok := rb[b]; ok {
+				joinBuckets(b, lb[b], b, res)
+			}
+		}
+	} else {
+		// Multi-join: test every bucket pair through MATCH (theta path).
+		lids := sortedBuckets(lb)
+		rids := sortedBuckets(rb)
+		for _, b1 := range lids {
+			for _, b2 := range rids {
+				if j.Match(b1, b2) {
+					joinBuckets(b1, lb[b1], b2, rb[b2])
+				}
+			}
+		}
+	}
+	return stats, nil
+}
+
+func sortedBuckets[V any](m map[BucketID]V) []BucketID {
+	ids := make([]BucketID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func sameSlice(a, b []any) bool {
+	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
+}

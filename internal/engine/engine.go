@@ -1,0 +1,268 @@
+// Package engine is the distributed query engine the FUDJ framework is
+// realized on — the role Apache AsterixDB plays in the paper. It binds
+// together the catalog, the SQL front end, the rule-based planner with
+// the FUDJ rewrite (§VI-C), and physical execution on the simulated
+// shared-nothing cluster.
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"fudj/internal/catalog"
+	"fudj/internal/cluster"
+	"fudj/internal/core"
+	"fudj/internal/expr"
+	"fudj/internal/sqlparse"
+	"fudj/internal/types"
+)
+
+// JoinMode selects how the planner implements a detected FUDJ
+// predicate, letting the same query text drive the paper's three
+// comparison arms.
+type JoinMode int
+
+const (
+	// ModeFUDJ (default) generates the FUDJ plan of Fig. 8.
+	ModeFUDJ JoinMode = iota
+	// ModeBuiltin routes the predicate to a hand-built operator
+	// registered via RegisterBuiltinJoin — the paper's from-scratch
+	// "built-in" comparators.
+	ModeBuiltin
+)
+
+// BuiltinJoinFunc is a hand-built distributed join operator: it
+// receives both partitioned inputs with evaluators for their key
+// expressions and produces concatenated (left ++ right) records.
+type BuiltinJoinFunc func(c *cluster.Cluster, left cluster.Data, leftKey expr.Evaluator,
+	right cluster.Data, rightKey expr.Evaluator, params []types.Value) (cluster.Data, error)
+
+// Options configure a Database.
+type Options struct {
+	Cluster cluster.Config
+}
+
+// DefaultOptions mirror the paper's testbed shape at laptop scale:
+// 4 nodes with 2 cores each.
+func DefaultOptions() Options {
+	return Options{Cluster: cluster.Config{Nodes: 4, CoresPerNode: 2}}
+}
+
+// Database is one engine instance: metadata plus execution settings.
+type Database struct {
+	catalog    *catalog.Catalog
+	opts       Options
+	mode       JoinMode
+	smartTheta bool
+	builtins   map[string]BuiltinJoinFunc
+}
+
+// Open creates a database with the given options.
+func Open(opts Options) (*Database, error) {
+	if err := opts.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	return &Database{
+		catalog:  catalog.New(),
+		opts:     opts,
+		builtins: make(map[string]BuiltinJoinFunc),
+	}, nil
+}
+
+// MustOpen is Open that panics on error, for tests and examples.
+func MustOpen(opts Options) *Database {
+	db, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Catalog exposes the metadata store.
+func (db *Database) Catalog() *catalog.Catalog { return db.catalog }
+
+// SetJoinMode switches between FUDJ and built-in execution of FUDJ
+// predicates.
+func (db *Database) SetJoinMode(m JoinMode) { db.mode = m }
+
+// SetSmartTheta enables the balanced theta bucket-matching operator
+// for multi-join FUDJs, replacing the paper's broadcast + random
+// partitioning (§VII-C) with coordinator-scheduled bucket pairs — the
+// Theta Join Operator the paper proposes as future work (§VIII).
+// Disabled by default to match the paper's measured configuration.
+func (db *Database) SetSmartTheta(on bool) { db.smartTheta = on }
+
+// SetCluster reconfigures the simulated cluster for subsequent queries
+// (the scalability experiments sweep this).
+func (db *Database) SetCluster(cfg cluster.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	db.opts.Cluster = cfg
+	return nil
+}
+
+// RegisterBuiltinJoin installs a hand-built operator for a FUDJ
+// function name, used when the join mode is ModeBuiltin.
+func (db *Database) RegisterBuiltinJoin(name string, op BuiltinJoinFunc) {
+	db.builtins[name] = op
+}
+
+// CreateDataset loads a dataset into the engine.
+func (db *Database) CreateDataset(name string, schema *types.Schema, recs []types.Record) error {
+	return db.catalog.CreateDataset(name, schema, recs)
+}
+
+// InstallLibrary uploads a FUDJ library so CREATE JOIN can reference it.
+func (db *Database) InstallLibrary(lib *core.Library) error {
+	return db.catalog.InstallLibrary(lib)
+}
+
+// Stats carries the operator-level counters of one query execution.
+type Stats struct {
+	Candidates int64 // record pairs reaching VERIFY
+	Verified   int64 // pairs passing VERIFY
+	Deduped    int64 // pairs suppressed by duplicate handling
+	JoinOutput int64 // records leaving join operators
+	StateBytes int64 // encoded summary + plan bytes moved
+
+	// Wall time spent in each FUDJ phase (summed over FUDJ join steps),
+	// the phase breakdown the paper reasons about in §VII.
+	SummarizeTime time.Duration
+	PartitionTime time.Duration
+	CombineTime   time.Duration
+}
+
+type statsCounters struct {
+	candidates atomic.Int64
+	verified   atomic.Int64
+	deduped    atomic.Int64
+	joinOutput atomic.Int64
+	stateBytes atomic.Int64
+	summarize  atomic.Int64 // nanoseconds
+	partition  atomic.Int64
+	combine    atomic.Int64
+}
+
+func (c *statsCounters) snapshot() Stats {
+	return Stats{
+		Candidates:    c.candidates.Load(),
+		Verified:      c.verified.Load(),
+		Deduped:       c.deduped.Load(),
+		JoinOutput:    c.joinOutput.Load(),
+		StateBytes:    c.stateBytes.Load(),
+		SummarizeTime: time.Duration(c.summarize.Load()),
+		PartitionTime: time.Duration(c.partition.Load()),
+		CombineTime:   time.Duration(c.combine.Load()),
+	}
+}
+
+// Result is the outcome of one query.
+type Result struct {
+	Schema  *types.Schema
+	Rows    []types.Record
+	Plan    string        // EXPLAIN-style plan description
+	Elapsed time.Duration // wall-clock execution time
+	Stats   Stats
+	// Cluster cost counters for the execution.
+	BytesShuffled   int64
+	RecordsShuffled int64
+	BytesBroadcast  int64
+	MaxBusy         time.Duration // per-partition makespan (ideal hardware)
+	TotalBusy       time.Duration
+}
+
+// Execute parses and runs one statement. DDL statements return a
+// Result with a status row; SELECT returns the query output.
+func (db *Database) Execute(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecuteStmt(stmt)
+}
+
+// ExecuteStmt runs an already-parsed statement.
+func (db *Database) ExecuteStmt(stmt sqlparse.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparse.CreateJoin:
+		names := make([]string, len(s.Params))
+		typs := make([]string, len(s.Params))
+		for i, p := range s.Params {
+			names[i], typs[i] = p.Name, p.Type
+		}
+		if err := db.catalog.CreateJoin(s.Name, names, typs, s.Class, s.Library); err != nil {
+			return nil, err
+		}
+		return statusResult(fmt.Sprintf("join %q created", s.Name)), nil
+
+	case *sqlparse.DropJoin:
+		if err := db.catalog.DropJoin(s.Name); err != nil {
+			return nil, err
+		}
+		return statusResult(fmt.Sprintf("join %q dropped", s.Name)), nil
+
+	case *sqlparse.Select:
+		plan, err := db.plan(s)
+		if err != nil {
+			return nil, err
+		}
+		if s.Explain {
+			return &Result{
+				Schema: types.NewSchema(types.Field{Name: "plan", Kind: types.KindString}),
+				Rows:   []types.Record{{types.NewString(plan.explain())}},
+				Plan:   plan.explain(),
+			}, nil
+		}
+		res, err := db.run(plan)
+		if err != nil {
+			return nil, err
+		}
+		if s.Into != "" {
+			// SELECT ... INTO: materialize the result as a new dataset —
+			// how the paper's motivating workflow stores the Query 1
+			// output as Damaged_Parks before Query 2 reads it. Output
+			// column names are sanitized (dots become underscores) so the
+			// new dataset's fields re-qualify cleanly in later queries.
+			fields := make([]types.Field, res.Schema.Len())
+			taken := make(map[string]bool, len(fields))
+			for i, f := range res.Schema.Fields {
+				name := sanitizeFieldName(f.Name)
+				for taken[name] {
+					name += "_"
+				}
+				taken[name] = true
+				fields[i] = types.Field{Name: name, Kind: f.Kind}
+			}
+			if err := db.catalog.CreateDataset(s.Into, types.NewSchema(fields...), res.Rows); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// sanitizeFieldName makes a projected column name usable as a stored
+// dataset field: alias qualifiers and expression punctuation collapse
+// to underscores.
+func sanitizeFieldName(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func statusResult(msg string) *Result {
+	return &Result{
+		Schema: types.NewSchema(types.Field{Name: "status", Kind: types.KindString}),
+		Rows:   []types.Record{{types.NewString(msg)}},
+	}
+}

@@ -1,0 +1,405 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fudj/internal/cluster"
+	"fudj/internal/expr"
+	"fudj/internal/types"
+)
+
+// run executes a planned query on a fresh cluster instance.
+func (p *queryPlan) run(db *Database) (*Result, error) {
+	start := time.Now()
+	clus := cluster.New(db.opts.Cluster)
+	counters := &statsCounters{}
+
+	// Scans with pushed-down filters.
+	inputs := make([]cluster.Data, len(p.scans))
+	schemas := make([]*types.Schema, len(p.scans))
+	for i, s := range p.scans {
+		data := clus.Scatter(s.ds.Records)
+		if s.filter != nil {
+			pred, err := expr.Compile(s.filter, s.schema)
+			if err != nil {
+				return nil, err
+			}
+			data, err = filterData(clus, data, pred)
+			if err != nil {
+				return nil, err
+			}
+		}
+		inputs[i] = data
+		schemas[i] = s.schema
+	}
+
+	// Left-deep joins.
+	cur := inputs[0]
+	curSchema := schemas[0]
+	for i, step := range p.joins {
+		right := inputs[i+1]
+		rightSchema := schemas[i+1]
+		outSchema := curSchema.Concat(rightSchema)
+		var err error
+		switch step.kind {
+		case joinFUDJ:
+			cur, err = db.runFUDJ(clus, counters, step.fudj, cur, curSchema, right, rightSchema, outSchema)
+		case joinBuiltin:
+			cur, err = db.runBuiltinJoin(clus, counters, step.fudj, cur, curSchema, right, rightSchema)
+		case joinHash:
+			cur, err = runHashJoin(clus, counters, step, cur, curSchema, right, rightSchema)
+		case joinNLJ:
+			cur, err = runNLJ(clus, counters, step.cond, cur, curSchema, right, rightSchema, outSchema)
+		case joinCross:
+			cur, err = runNLJ(clus, counters, nil, cur, curSchema, right, rightSchema, outSchema)
+		default:
+			err = fmt.Errorf("engine: unknown join kind %v", step.kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		curSchema = outSchema
+		if len(step.residual) > 0 {
+			pred, err := expr.Compile(expr.JoinConjuncts(step.residual), curSchema)
+			if err != nil {
+				return nil, err
+			}
+			if cur, err = filterData(clus, cur, pred); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Residual filter.
+	if len(p.post) > 0 {
+		pred, err := expr.Compile(expr.JoinConjuncts(p.post), curSchema)
+		if err != nil {
+			return nil, err
+		}
+		if cur, err = filterData(clus, cur, pred); err != nil {
+			return nil, err
+		}
+	}
+
+	// Aggregation or projection.
+	var rows []types.Record
+	var err error
+	if len(p.aggs) > 0 || len(p.groupBy) > 0 {
+		rows, err = p.runGroupBy(clus, cur, curSchema)
+		if err == nil && p.having != nil {
+			rows, err = p.filterRows(rows)
+		}
+	} else {
+		rows, err = p.runProject(clus, cur, curSchema)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.distinct {
+		rows = distinctRows(rows)
+	}
+
+	// Order and limit at the coordinator.
+	if len(p.orderBy) > 0 {
+		if err := p.sortRows(rows); err != nil {
+			return nil, err
+		}
+	}
+	if p.limit >= 0 && len(rows) > p.limit {
+		rows = rows[:p.limit]
+	}
+
+	m := clus.Metrics()
+	return &Result{
+		Schema:          p.outSchema,
+		Rows:            rows,
+		Plan:            p.explain(),
+		Elapsed:         time.Since(start),
+		Stats:           counters.snapshot(),
+		BytesShuffled:   m.BytesShuffled(),
+		RecordsShuffled: m.RecordsShuffled(),
+		BytesBroadcast:  m.BytesBroadcast(),
+		MaxBusy:         m.MaxBusy(),
+		TotalBusy:       m.TotalBusy(),
+	}, nil
+}
+
+// run is invoked from Database.ExecuteStmt.
+func (db *Database) run(p *queryPlan) (*Result, error) { return p.run(db) }
+
+func filterData(clus *cluster.Cluster, data cluster.Data, pred expr.Evaluator) (cluster.Data, error) {
+	return clus.Run(data, func(_ int, in []types.Record) ([]types.Record, error) {
+		var out []types.Record
+		for _, rec := range in {
+			v, err := pred(rec)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind() == types.KindBool && v.Bool() {
+				out = append(out, rec)
+			}
+		}
+		return out, nil
+	})
+}
+
+// runNLJ is the on-top strategy: broadcast the smaller side,
+// nested-loop locally with the full predicate (nil predicate = cross
+// join). Output columns keep the left-then-right order regardless of
+// which side was broadcast.
+func runNLJ(clus *cluster.Cluster, counters *statsCounters, cond expr.Expr,
+	left cluster.Data, leftSchema *types.Schema,
+	right cluster.Data, rightSchema *types.Schema, outSchema *types.Schema) (cluster.Data, error) {
+
+	var pred expr.Evaluator
+	if cond != nil {
+		var err error
+		pred, err = expr.Compile(cond, outSchema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Broadcast the smaller input so network volume and per-partition
+	// build size stay bounded by min(|L|, |R|).
+	broadcastLeft := left.Rows() < right.Rows()
+	small, big := right, left
+	if broadcastLeft {
+		small, big = left, right
+	}
+	replicated, err := clus.Replicate(small)
+	if err != nil {
+		return nil, err
+	}
+	lw := leftSchema.Len()
+	return clus.Run(big, func(part int, in []types.Record) ([]types.Record, error) {
+		var out []types.Record
+		smallRecs := replicated[part]
+		pair := make(types.Record, leftSchema.Len()+rightSchema.Len())
+		for _, b := range in {
+			if broadcastLeft {
+				copy(pair[lw:], b)
+			} else {
+				copy(pair, b)
+			}
+			for _, s := range smallRecs {
+				if broadcastLeft {
+					copy(pair[:lw], s)
+				} else {
+					copy(pair[lw:], s)
+				}
+				counters.candidates.Add(1)
+				if pred != nil {
+					v, err := pred(pair)
+					if err != nil {
+						return nil, err
+					}
+					if v.Kind() != types.KindBool || !v.Bool() {
+						continue
+					}
+				}
+				counters.verified.Add(1)
+				counters.joinOutput.Add(1)
+				out = append(out, pair.Clone())
+			}
+		}
+		return out, nil
+	})
+}
+
+// runHashJoin shuffles both sides by key hash and joins locally.
+func runHashJoin(clus *cluster.Cluster, counters *statsCounters, step joinStep,
+	left cluster.Data, leftSchema *types.Schema,
+	right cluster.Data, rightSchema *types.Schema) (cluster.Data, error) {
+
+	lkey, err := expr.Compile(step.hashL, leftSchema)
+	if err != nil {
+		return nil, err
+	}
+	rkey, err := expr.Compile(step.hashR, rightSchema)
+	if err != nil {
+		return nil, err
+	}
+	hashOf := func(ev expr.Evaluator) func(types.Record) uint64 {
+		return func(r types.Record) uint64 {
+			v, err := ev(r)
+			if err != nil {
+				return 0
+			}
+			return v.Hash()
+		}
+	}
+	lShuf, err := clus.ExchangeHash(left, hashOf(lkey))
+	if err != nil {
+		return nil, err
+	}
+	rShuf, err := clus.ExchangeHash(right, hashOf(rkey))
+	if err != nil {
+		return nil, err
+	}
+	return clus.Run(lShuf, func(part int, in []types.Record) ([]types.Record, error) {
+		// Build on the right partition.
+		build := make(map[uint64][]types.Record)
+		keys := make(map[uint64][]types.Value)
+		for _, r := range rShuf[part] {
+			v, err := rkey(r)
+			if err != nil {
+				return nil, err
+			}
+			h := v.Hash()
+			build[h] = append(build[h], r)
+			keys[h] = append(keys[h], v)
+		}
+		var out []types.Record
+		for _, l := range in {
+			v, err := lkey(l)
+			if err != nil {
+				return nil, err
+			}
+			h := v.Hash()
+			for i, r := range build[h] {
+				counters.candidates.Add(1)
+				if !v.Equal(keys[h][i]) {
+					continue
+				}
+				counters.verified.Add(1)
+				counters.joinOutput.Add(1)
+				joined := make(types.Record, 0, len(l)+len(r))
+				joined = append(append(joined, l...), r...)
+				out = append(out, joined)
+			}
+		}
+		return out, nil
+	})
+}
+
+// runBuiltinJoin dispatches to a registered hand-built operator.
+func (db *Database) runBuiltinJoin(clus *cluster.Cluster, counters *statsCounters, f *fudjStep,
+	left cluster.Data, leftSchema *types.Schema,
+	right cluster.Data, rightSchema *types.Schema) (cluster.Data, error) {
+
+	op, ok := db.builtins[f.def.Name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no built-in operator registered for %q", f.def.Name)
+	}
+	lkey, err := expr.Compile(f.leftKey, leftSchema)
+	if err != nil {
+		return nil, err
+	}
+	rkey, err := expr.Compile(f.rightKey, rightSchema)
+	if err != nil {
+		return nil, err
+	}
+	out, err := op(clus, left, lkey, right, rkey, f.params)
+	if err != nil {
+		return nil, err
+	}
+	counters.joinOutput.Add(int64(out.Rows()))
+	return out, nil
+}
+
+// runProject evaluates the projection list per partition and gathers.
+func (p *queryPlan) runProject(clus *cluster.Cluster, data cluster.Data, schema *types.Schema) ([]types.Record, error) {
+	evals := make([]expr.Evaluator, len(p.cols))
+	for i, c := range p.cols {
+		ev, err := expr.Compile(c.e, schema)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = ev
+	}
+	out, err := clus.Run(data, func(_ int, in []types.Record) ([]types.Record, error) {
+		res := make([]types.Record, 0, len(in))
+		for _, rec := range in {
+			row := make(types.Record, len(evals))
+			for i, ev := range evals {
+				v, err := ev(rec)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			res = append(res, row)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.Flatten(), nil
+}
+
+// filterRows applies the (rewritten) HAVING predicate over the
+// aggregation output at the coordinator.
+func (p *queryPlan) filterRows(rows []types.Record) ([]types.Record, error) {
+	pred, err := expr.Compile(p.having, p.outSchema)
+	if err != nil {
+		return nil, err
+	}
+	out := rows[:0]
+	for _, row := range rows {
+		v, err := pred(row)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind() == types.KindBool && v.Bool() {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// distinctRows removes duplicate output rows, preserving first-seen
+// order.
+func distinctRows(rows []types.Record) []types.Record {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		key := string(types.EncodeRecords([]types.Record{row}))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+// sortRows orders the final rows by the ORDER BY keys, which are
+// compiled against the output schema (so projection aliases work).
+func (p *queryPlan) sortRows(rows []types.Record) error {
+	evals := make([]expr.Evaluator, len(p.orderBy))
+	for i, o := range p.orderBy {
+		ev, err := expr.Compile(o.e, p.outSchema)
+		if err != nil {
+			return err
+		}
+		evals[i] = ev
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, ev := range evals {
+			vi, err := ev(rows[i])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vj, err := ev(rows[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c := vi.Compare(vj)
+			if c == 0 {
+				continue
+			}
+			if p.orderBy[k].desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return sortErr
+}

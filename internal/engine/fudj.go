@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fudj/internal/cluster"
+	"fudj/internal/core"
+	"fudj/internal/expr"
+	"fudj/internal/types"
+)
+
+// runFUDJ executes the Fig. 8 FUDJ plan for one join step:
+//
+//	SUMMARIZE  local aggregate per partition → encoded summaries to the
+//	           coordinator → global aggregate → DIVIDE → encoded PPlan
+//	           broadcast to all nodes
+//	PARTITION  assign each record to buckets (unnest) and shuffle:
+//	           hash exchange on bucket id for default-match joins,
+//	           broadcast + random partitioning for theta (multi-join)
+//	COMBINE    per-bucket candidate pairs → VERIFY → duplicate handling
+//
+// Records travel through the pipeline extended with two leading
+// columns, [bucket_id, key, fields...], so verify never recomputes key
+// expressions per candidate pair. Under DedupElimination a third
+// leading column carries a globally unique row id.
+func (db *Database) runFUDJ(clus *cluster.Cluster, counters *statsCounters, f *fudjStep,
+	left cluster.Data, leftSchema *types.Schema,
+	right cluster.Data, rightSchema *types.Schema, outSchema *types.Schema) (cluster.Data, error) {
+
+	join := f.def.New()
+	desc := join.Descriptor()
+
+	lkey, err := expr.Compile(f.leftKey, leftSchema)
+	if err != nil {
+		return nil, err
+	}
+	rkey, err := expr.Compile(f.rightKey, rightSchema)
+	if err != nil {
+		return nil, err
+	}
+	params := make([]any, len(f.params))
+	for i, v := range f.params {
+		params[i] = v.Native()
+	}
+
+	// ---- SUMMARIZE ----
+	phaseStart := time.Now()
+	summarize := func(side core.Side, data cluster.Data, key expr.Evaluator) (core.Summary, error) {
+		locals, err := cluster.RunValues(clus, data, func(_ int, in []types.Record) ([]byte, error) {
+			s := join.NewSummary(side)
+			for _, rec := range in {
+				v, err := key(rec)
+				if err != nil {
+					return nil, err
+				}
+				s = join.LocalAggregate(side, v.Native(), s)
+			}
+			return join.EncodeSummary(s)
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Ship the encoded local summaries to the coordinator, then
+		// merge them with the global aggregate.
+		clus.GatherBytes(locals)
+		global := join.NewSummary(side)
+		for _, buf := range locals {
+			counters.stateBytes.Add(int64(len(buf)))
+			s, err := join.DecodeSummary(buf)
+			if err != nil {
+				return nil, err
+			}
+			global = join.GlobalAggregate(side, global, s)
+		}
+		return global, nil
+	}
+
+	ls, err := summarize(core.Left, left, lkey)
+	if err != nil {
+		return nil, fmt.Errorf("fudj %s: summarize left: %w", f.def.Name, err)
+	}
+	var rs core.Summary
+	if f.selfJoin && desc.SymmetricSummarize {
+		rs = ls // self-join optimization: replicate the summary (§VI-C)
+	} else {
+		rs, err = summarize(core.Right, right, rkey)
+		if err != nil {
+			return nil, fmt.Errorf("fudj %s: summarize right: %w", f.def.Name, err)
+		}
+	}
+
+	// ---- DIVIDE ----
+	plan, err := join.Divide(ls, rs, params)
+	if err != nil {
+		return nil, fmt.Errorf("fudj %s: divide: %w", f.def.Name, err)
+	}
+	planBuf, err := join.EncodePlan(plan)
+	if err != nil {
+		return nil, fmt.Errorf("fudj %s: encode plan: %w", f.def.Name, err)
+	}
+	counters.stateBytes.Add(int64(len(planBuf)))
+	clus.Broadcast(planBuf)
+	// Every node decodes its own copy, as it would on a real cluster.
+	plan, err = join.DecodePlan(planBuf)
+	if err != nil {
+		return nil, fmt.Errorf("fudj %s: decode plan: %w", f.def.Name, err)
+	}
+
+	counters.summarize.Add(int64(time.Since(phaseStart)))
+	phaseStart = time.Now()
+
+	// ---- PARTITION (assign + unnest) ----
+	// Records are extended with leading metadata columns:
+	//   [bucket_id, key, (meta), original fields...]
+	// where meta is a unique row id under DedupElimination, or the full
+	// assign list under DedupAvoidance — carrying the list computed here
+	// lets the COMBINE phase find the canonical bucket pair without
+	// re-running ASSIGN per candidate pair.
+	elimination := desc.Dedup == core.DedupElimination
+	cacheAssign := desc.Dedup == core.DedupAvoidance
+	extraCols := 2
+	if elimination || cacheAssign {
+		extraCols = 3
+	}
+	assign := func(side core.Side, data cluster.Data, key expr.Evaluator) (cluster.Data, error) {
+		return clus.Run(data, func(part int, in []types.Record) ([]types.Record, error) {
+			var out []types.Record
+			var ids []core.BucketID
+			for i, rec := range in {
+				v, err := key(rec)
+				if err != nil {
+					return nil, err
+				}
+				ids = join.Assign(side, v.Native(), plan, ids[:0])
+				var meta types.Value
+				switch {
+				case elimination:
+					meta = types.NewInt64(int64(part)<<32 | int64(i))
+				case cacheAssign:
+					list := make([]types.Value, len(ids))
+					for j, id := range ids {
+						list[j] = types.NewInt64(int64(id))
+					}
+					meta = types.NewList(list)
+				}
+				for _, id := range ids {
+					ext := make(types.Record, 0, extraCols+len(rec))
+					ext = append(ext, types.NewInt64(int64(id)), v)
+					if extraCols == 3 {
+						ext = append(ext, meta)
+					}
+					out = append(out, append(ext, rec...))
+				}
+			}
+			return out, nil
+		})
+	}
+	lAssigned, err := assign(core.Left, left, lkey)
+	if err != nil {
+		return nil, fmt.Errorf("fudj %s: assign left: %w", f.def.Name, err)
+	}
+	rAssigned, err := assign(core.Right, right, rkey)
+	if err != nil {
+		return nil, fmt.Errorf("fudj %s: assign right: %w", f.def.Name, err)
+	}
+
+	counters.partition.Add(int64(time.Since(phaseStart)))
+	phaseStart = time.Now()
+
+	// ---- COMBINE ----
+	applyDedup := desc.Dedup == core.DedupAvoidance || desc.Dedup == core.DedupCustom
+
+	// accept applies dedup to one verified candidate pair and appends
+	// the joined record.
+	accept := func(out []types.Record, l, r types.Record) []types.Record {
+		b1 := int(l[0].Int64())
+		b2 := int(r[0].Int64())
+		if cacheAssign {
+			// Framework avoidance using the assign lists carried through
+			// the partition phase: keep only the canonical bucket pair.
+			x, y, ok := core.CanonicalPair(join, listBuckets(l[2]), listBuckets(r[2]))
+			if ok && (x != b1 || y != b2) {
+				counters.deduped.Add(1)
+				return out
+			}
+		} else if applyDedup && !join.Dedup(b1, l[1].Native(), b2, r[1].Native(), plan) {
+			counters.deduped.Add(1)
+			return out
+		}
+		joined := make(types.Record, 0, len(l)+len(r)-2*extraCols+2)
+		if elimination {
+			joined = append(joined, l[2], r[2]) // row-id pair for distinct
+		}
+		joined = append(joined, l[extraCols:]...)
+		joined = append(joined, r[extraCols:]...)
+		return append(out, joined)
+	}
+
+	// combineBuckets joins one matched bucket pair, through the join's
+	// custom local algorithm when it provides one (§VII-F), or the
+	// verify loop otherwise.
+	combineBuckets := func(out []types.Record, b1 int, ls []types.Record, b2 int, rs []types.Record) []types.Record {
+		if desc.LocalJoin {
+			lk := make([]any, len(ls))
+			for i, rec := range ls {
+				lk[i] = rec[1].Native()
+			}
+			rk := make([]any, len(rs))
+			for i, rec := range rs {
+				rk[i] = rec[1].Native()
+			}
+			counters.candidates.Add(int64(len(ls)) * int64(len(rs)))
+			join.LocalJoin(b1, lk, b2, rk, plan, func(i, k int) {
+				counters.verified.Add(1)
+				out = accept(out, ls[i], rs[k])
+			})
+			return out
+		}
+		for _, l := range ls {
+			k1 := l[1].Native()
+			for _, r := range rs {
+				counters.candidates.Add(1)
+				if !join.Verify(b1, k1, b2, r[1].Native(), plan) {
+					continue
+				}
+				counters.verified.Add(1)
+				out = accept(out, l, r)
+			}
+		}
+		return out
+	}
+
+	var combined cluster.Data
+	if desc.DefaultMatch {
+		// Single-join: hash partition both sides on bucket id, then a
+		// local hash join per partition (the optimizer's hash-join path).
+		bucketHash := func(r types.Record) uint64 { return r[0].Hash() }
+		lShuf, err := clus.ExchangeHash(lAssigned, bucketHash)
+		if err != nil {
+			return nil, err
+		}
+		rShuf, err := clus.ExchangeHash(rAssigned, bucketHash)
+		if err != nil {
+			return nil, err
+		}
+		combined, err = clus.Run(lShuf, func(part int, in []types.Record) ([]types.Record, error) {
+			lBuckets := groupByBucket(in)
+			rBuckets := groupByBucket(rShuf[part])
+			var out []types.Record
+			for _, b := range sortedIDs(lBuckets) {
+				if rs, ok := rBuckets[b]; ok {
+					out = combineBuckets(out, b, lBuckets[b], b, rs)
+				}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else if db.smartTheta {
+		// Balanced theta (the Theta Join Operator proposed as future
+		// work in §VIII): the coordinator gathers per-bucket record
+		// counts, enumerates the bucket pairs MATCH accepts, assigns
+		// each pair to a partition by greedy cost balancing, and records
+		// travel only to partitions owning pairs that need them.
+		combined, err = db.runSmartTheta(clus, join, combineBuckets, lAssigned, rAssigned)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Naive theta (the paper's measured configuration, §VII-C): no
+		// partitioning property helps, so one side is broadcast and the
+		// other randomly partitioned, then buckets are matched pairwise
+		// through MATCH locally.
+		lRepl, err := clus.Replicate(lAssigned)
+		if err != nil {
+			return nil, err
+		}
+		rRand, err := clus.ExchangeRandom(rAssigned)
+		if err != nil {
+			return nil, err
+		}
+		combined, err = clus.Run(rRand, func(part int, in []types.Record) ([]types.Record, error) {
+			lBuckets := groupByBucket(lRepl[part])
+			rBuckets := groupByBucket(in)
+			lIDs := sortedIDs(lBuckets)
+			rIDs := sortedIDs(rBuckets)
+			var out []types.Record
+			for _, b1 := range lIDs {
+				for _, b2 := range rIDs {
+					if !join.Match(b1, b2) {
+						continue
+					}
+					out = combineBuckets(out, b1, lBuckets[b1], b2, rBuckets[b2])
+				}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- duplicate elimination stage (only DedupElimination) ----
+	if elimination {
+		distinct, err := clus.ExchangeHash(combined, func(r types.Record) uint64 {
+			return r[0].Hash() ^ (r[1].Hash() * 0x9e3779b97f4a7c15)
+		})
+		if err != nil {
+			return nil, err
+		}
+		combined, err = clus.Run(distinct, func(_ int, in []types.Record) ([]types.Record, error) {
+			seen := make(map[[2]int64]bool, len(in))
+			var out []types.Record
+			for _, rec := range in {
+				pair := [2]int64{rec[0].Int64(), rec[1].Int64()}
+				if seen[pair] {
+					counters.deduped.Add(1)
+					continue
+				}
+				seen[pair] = true
+				out = append(out, rec[2:])
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	counters.combine.Add(int64(time.Since(phaseStart)))
+	counters.joinOutput.Add(int64(combined.Rows()))
+	if got, want := schemaWidth(combined), outSchema.Len(); got >= 0 && got != want {
+		return nil, fmt.Errorf("fudj %s: joined record has %d fields, schema wants %d", f.def.Name, got, want)
+	}
+	return combined, nil
+}
+
+// listBuckets decodes a cached assign list column.
+func listBuckets(v types.Value) []core.BucketID {
+	list := v.List()
+	out := make([]core.BucketID, len(list))
+	for i, e := range list {
+		out[i] = int(e.Int64())
+	}
+	return out
+}
+
+func groupByBucket(recs []types.Record) map[int][]types.Record {
+	out := make(map[int][]types.Record)
+	for _, r := range recs {
+		id := int(r[0].Int64())
+		out[id] = append(out[id], r)
+	}
+	return out
+}
+
+func sortedIDs(m map[int][]types.Record) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// schemaWidth returns the field count of the first record, or -1 when
+// the data is empty.
+func schemaWidth(d cluster.Data) int {
+	for _, p := range d {
+		if len(p) > 0 {
+			return len(p[0])
+		}
+	}
+	return -1
+}

@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"fmt"
+	"hash/maphash"
+
+	"fudj/internal/cluster"
+	"fudj/internal/expr"
+	"fudj/internal/types"
+	"fudj/internal/wire"
+)
+
+// Distributed grouped aggregation follows the classic two-step shape
+// (the same shape FUDJ's SUMMARIZE reuses): each partition computes
+// partial aggregates, partials are hash-exchanged on the group key,
+// and each partition finalizes its groups.
+
+// aggState is one aggregate's running value.
+type aggState struct {
+	count int64
+	sum   float64
+	isInt bool  // sum/min/max seen only integers so far
+	sumI  int64 // integer sum (exact for int inputs)
+	min   types.Value
+	max   types.Value
+	seen  bool
+}
+
+func (s *aggState) fold(fn string, v types.Value) error {
+	switch fn {
+	case "count":
+		if !v.IsNull() {
+			s.count++
+		}
+		return nil
+	case "sum", "avg":
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("engine: %s over non-numeric %v", fn, v.Kind())
+		}
+		if v.Kind() == types.KindInt64 {
+			s.sumI += v.Int64()
+		} else {
+			s.isInt = false
+		}
+		if !s.seen {
+			s.isInt = v.Kind() == types.KindInt64
+		}
+		s.sum += f
+		s.count++
+		s.seen = true
+		return nil
+	case "min", "max":
+		if !s.seen {
+			s.min, s.max, s.seen = v, v, true
+			return nil
+		}
+		if v.Compare(s.min) < 0 {
+			s.min = v
+		}
+		if v.Compare(s.max) > 0 {
+			s.max = v
+		}
+		return nil
+	}
+	return fmt.Errorf("engine: unknown aggregate %q", fn)
+}
+
+func (s *aggState) merge(fn string, o *aggState) {
+	switch fn {
+	case "count":
+		s.count += o.count
+	case "sum", "avg":
+		if !o.seen {
+			return
+		}
+		if !s.seen {
+			*s = *o
+			return
+		}
+		s.sum += o.sum
+		s.sumI += o.sumI
+		s.isInt = s.isInt && o.isInt
+		s.count += o.count
+		s.seen = true
+	case "min", "max":
+		if !o.seen {
+			return
+		}
+		if !s.seen {
+			*s = *o
+			return
+		}
+		if o.min.Compare(s.min) < 0 {
+			s.min = o.min
+		}
+		if o.max.Compare(s.max) > 0 {
+			s.max = o.max
+		}
+	}
+}
+
+func (s *aggState) final(fn string) types.Value {
+	switch fn {
+	case "count":
+		return types.NewInt64(s.count)
+	case "sum":
+		if !s.seen {
+			return types.Null
+		}
+		if s.isInt {
+			return types.NewInt64(s.sumI)
+		}
+		return types.NewFloat64(s.sum)
+	case "avg":
+		if !s.seen || s.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat64(s.sum / float64(s.count))
+	case "min":
+		if !s.seen {
+			return types.Null
+		}
+		return s.min
+	case "max":
+		if !s.seen {
+			return types.Null
+		}
+		return s.max
+	}
+	return types.Null
+}
+
+// encodePartial serializes an aggState into values that travel inside
+// ordinary records through the exchange.
+func (s *aggState) encodePartial() []types.Value {
+	min, max := s.min, s.max
+	if !s.seen {
+		min, max = types.Null, types.Null
+	}
+	var isInt int64
+	if s.isInt {
+		isInt = 1
+	}
+	var seen int64
+	if s.seen {
+		seen = 1
+	}
+	return []types.Value{
+		types.NewInt64(s.count),
+		types.NewFloat64(s.sum),
+		types.NewInt64(s.sumI),
+		types.NewInt64(isInt),
+		min,
+		max,
+		types.NewInt64(seen),
+	}
+}
+
+const partialWidth = 7
+
+func decodePartial(vals []types.Value) *aggState {
+	return &aggState{
+		count: vals[0].Int64(),
+		sum:   vals[1].Float64(),
+		sumI:  vals[2].Int64(),
+		isInt: vals[3].Int64() == 1,
+		min:   vals[4],
+		max:   vals[5],
+		seen:  vals[6].Int64() == 1,
+	}
+}
+
+var groupHashSeed = maphash.MakeSeed()
+
+// groupKey serializes group values into a comparable string.
+func groupKey(vals []types.Value) string {
+	e := wire.NewEncoder(32)
+	for _, v := range vals {
+		v.MarshalWire(e)
+	}
+	return string(e.Bytes())
+}
+
+func (p *queryPlan) runGroupBy(clus *cluster.Cluster, data cluster.Data, schema *types.Schema) ([]types.Record, error) {
+	groupEvals := make([]expr.Evaluator, len(p.groupBy))
+	for i, g := range p.groupBy {
+		ev, err := expr.Compile(g, schema)
+		if err != nil {
+			return nil, err
+		}
+		groupEvals[i] = ev
+	}
+	argEvals := make([]expr.Evaluator, len(p.aggs))
+	for i, a := range p.aggs {
+		ev, err := expr.Compile(a.arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		argEvals[i] = ev
+	}
+	nG := len(groupEvals)
+
+	// Phase 1: local partial aggregation. The partial record layout is
+	// [groupVals..., agg0 partial (7 vals), agg1 partial, ...].
+	partials, err := clus.Run(data, func(_ int, in []types.Record) ([]types.Record, error) {
+		type group struct {
+			vals   []types.Value
+			states []*aggState
+		}
+		groups := make(map[string]*group)
+		for _, rec := range in {
+			gvals := make([]types.Value, nG)
+			for i, ev := range groupEvals {
+				v, err := ev(rec)
+				if err != nil {
+					return nil, err
+				}
+				gvals[i] = v
+			}
+			k := groupKey(gvals)
+			g, ok := groups[k]
+			if !ok {
+				g = &group{vals: gvals, states: make([]*aggState, len(p.aggs))}
+				for i := range g.states {
+					g.states[i] = &aggState{}
+				}
+				groups[k] = g
+			}
+			for i, a := range p.aggs {
+				v, err := argEvals[i](rec)
+				if err != nil {
+					return nil, err
+				}
+				if err := g.states[i].fold(a.fn, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out := make([]types.Record, 0, len(groups))
+		for _, g := range groups {
+			row := append([]types.Value{}, g.vals...)
+			for _, st := range g.states {
+				row = append(row, st.encodePartial()...)
+			}
+			out = append(out, types.Record(row))
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: exchange partials by group key hash.
+	shuffled, err := clus.ExchangeHash(partials, func(r types.Record) uint64 {
+		var h maphash.Hash
+		h.SetSeed(groupHashSeed)
+		h.WriteString(groupKey(r[:nG]))
+		return h.Sum64()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: final combine per partition.
+	finals, err := clus.Run(shuffled, func(_ int, in []types.Record) ([]types.Record, error) {
+		type group struct {
+			vals   []types.Value
+			states []*aggState
+		}
+		groups := make(map[string]*group)
+		order := []string{}
+		for _, rec := range in {
+			gvals := rec[:nG]
+			k := groupKey(gvals)
+			g, ok := groups[k]
+			if !ok {
+				g = &group{vals: gvals, states: make([]*aggState, len(p.aggs))}
+				for i := range g.states {
+					g.states[i] = &aggState{}
+				}
+				groups[k] = g
+				order = append(order, k)
+			}
+			off := nG
+			for i, a := range p.aggs {
+				g.states[i].merge(a.fn, decodePartial(rec[off:off+partialWidth]))
+				off += partialWidth
+			}
+		}
+		out := make([]types.Record, 0, len(groups))
+		for _, k := range order {
+			g := groups[k]
+			row := append([]types.Value{}, g.vals...)
+			for i, a := range p.aggs {
+				row = append(row, g.states[i].final(a.fn))
+			}
+			out = append(out, types.Record(row))
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := finals.Flatten()
+
+	// Global aggregation over an empty input still returns one row.
+	if nG == 0 && len(rows) == 0 {
+		row := make(types.Record, len(p.aggs))
+		for i, a := range p.aggs {
+			row[i] = (&aggState{}).final(a.fn)
+		}
+		rows = []types.Record{row}
+	}
+	return rows, nil
+}

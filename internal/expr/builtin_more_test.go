@@ -1,0 +1,141 @@
+package expr
+
+import (
+	"testing"
+
+	"fudj/internal/geo"
+	"fudj/internal/types"
+)
+
+func TestStContainsRectForms(t *testing.T) {
+	poly := types.NewPolygon(geo.NewPolygon([]geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}}))
+	rect := types.NewRect(geo.Rect{MinX: 2, MinY: 2, MaxX: 4, MaxY: 4})
+	outer := types.NewRect(geo.Rect{MinX: 0, MinY: 0, MaxX: 20, MaxY: 20})
+	point := types.NewPoint(geo.Point{X: 3, Y: 3})
+
+	// polygon contains rect (all corners inside).
+	if v, err := stContains([]types.Value{poly, rect}); err != nil || !v.Bool() {
+		t.Errorf("polygon ⊇ rect = %v, %v", v, err)
+	}
+	// rect contains point / rect / polygon MBR.
+	if v, err := stContains([]types.Value{outer, point}); err != nil || !v.Bool() {
+		t.Errorf("rect ⊇ point = %v, %v", v, err)
+	}
+	if v, err := stContains([]types.Value{outer, rect}); err != nil || !v.Bool() {
+		t.Errorf("rect ⊇ rect = %v, %v", v, err)
+	}
+	if v, err := stContains([]types.Value{outer, poly}); err != nil || !v.Bool() {
+		t.Errorf("rect ⊇ polygon = %v, %v", v, err)
+	}
+	// A point cannot contain a polygon: unsupported pair.
+	if _, err := stContains([]types.Value{point, poly}); err == nil {
+		t.Error("point ⊇ polygon should be unsupported")
+	}
+	// Arity errors.
+	if _, err := stContains([]types.Value{poly}); err == nil {
+		t.Error("st_contains arity should be checked")
+	}
+}
+
+func TestStDistanceMixedKinds(t *testing.T) {
+	poly := types.NewPolygon(geo.NewPolygon([]geo.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}}))
+	far := types.NewPoint(geo.Point{X: 5, Y: 2})
+	v, err := stDistance([]types.Value{poly, far})
+	if err != nil || v.Float64() != 3 {
+		t.Errorf("polygon-point distance = %v, %v (want 3)", v, err)
+	}
+	if _, err := stDistance([]types.Value{types.NewInt64(1), far}); err == nil {
+		t.Error("non-spatial distance should error")
+	}
+	if _, err := stDistance([]types.Value{far}); err == nil {
+		t.Error("arity should be checked")
+	}
+}
+
+func TestAbsAndLen(t *testing.T) {
+	if v, _ := absFn([]types.Value{types.NewFloat64(-2.5)}); v.Float64() != 2.5 {
+		t.Errorf("abs(-2.5) = %v", v)
+	}
+	if v, _ := absFn([]types.Value{types.NewInt64(3)}); v.Int64() != 3 {
+		t.Errorf("abs(3) = %v", v)
+	}
+	if _, err := absFn([]types.Value{types.NewString("x")}); err == nil {
+		t.Error("abs of string should error")
+	}
+	if v, _ := lenFn([]types.Value{types.NewString("abcd")}); v.Int64() != 4 {
+		t.Errorf("len(string) = %v", v)
+	}
+	if v, _ := lenFn([]types.Value{types.NewList([]types.Value{types.Null, types.Null})}); v.Int64() != 2 {
+		t.Errorf("len(list) = %v", v)
+	}
+	if _, err := lenFn([]types.Value{types.NewInt64(1)}); err == nil {
+		t.Error("len of int should error")
+	}
+}
+
+func TestArithmeticCoverage(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		a, b types.Value
+		want types.Value
+	}{
+		{OpSub, types.NewInt64(5), types.NewInt64(3), types.NewInt64(2)},
+		{OpSub, types.NewFloat64(5), types.NewInt64(3), types.NewFloat64(2)},
+		{OpMul, types.NewInt64(4), types.NewInt64(3), types.NewInt64(12)},
+		{OpDiv, types.NewInt64(7), types.NewInt64(2), types.NewInt64(3)},
+		{OpDiv, types.NewFloat64(7), types.NewFloat64(2), types.NewFloat64(3.5)},
+		{OpAdd, types.NewFloat64(1), types.NewFloat64(2), types.NewFloat64(3)},
+	}
+	for _, c := range cases {
+		got, err := arith(c.op, c.a, c.b)
+		if err != nil || !got.Equal(c.want) {
+			t.Errorf("arith(%v, %v, %v) = %v, %v; want %v", c.op, c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := arith(OpDiv, types.NewFloat64(1), types.NewFloat64(0)); err == nil {
+		t.Error("float division by zero should error")
+	}
+	if _, err := arith(OpAdd, types.NewString("a"), types.NewInt64(1)); err == nil {
+		t.Error("string arithmetic should error")
+	}
+}
+
+func TestNotAndLiteralWalkString(t *testing.T) {
+	n := &Not{E: &Literal{V: types.NewBool(true)}}
+	if n.String() != "NOT true" {
+		t.Errorf("Not String = %q", n.String())
+	}
+	visited := 0
+	n.Walk(func(Expr) bool { visited++; return true })
+	if visited != 2 {
+		t.Errorf("Not.Walk visited %d nodes, want 2", visited)
+	}
+	// Walk stopping early.
+	visited = 0
+	b := &Binary{Op: OpAnd, L: n, R: n}
+	b.Walk(func(Expr) bool { visited++; return false })
+	if visited != 1 {
+		t.Errorf("early-stop Walk visited %d, want 1", visited)
+	}
+}
+
+func TestBinOpStringCoverage(t *testing.T) {
+	for op, want := range map[BinOp]string{
+		OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpNe: "<>", OpLe: "<=",
+	} {
+		if op.String() != want {
+			t.Errorf("BinOp(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestCompileNotErrors(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "s", Kind: types.KindString})
+	ev, err := Compile(&Not{E: &Column{Name: "s"}}, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev(types.Record{types.NewString("x")}); err == nil {
+		t.Error("NOT of string should error at eval time")
+	}
+}

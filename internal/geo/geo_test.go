@@ -1,0 +1,388 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fudj/internal/wire"
+)
+
+func rectFrom(x1, y1, x2, y2 float64) Rect {
+	return Rect{
+		MinX: math.Min(x1, x2), MinY: math.Min(y1, y2),
+		MaxX: math.Max(x1, x2), MaxY: math.Max(y1, y2),
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect is not empty")
+	}
+	r := rectFrom(0, 0, 1, 1)
+	if got := e.Union(r); got != r {
+		t.Errorf("empty ∪ r = %v, want %v", got, r)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("r ∪ empty = %v, want %v", got, r)
+	}
+	if e.Intersects(r) || r.Intersects(e) {
+		t.Error("empty rect must not intersect anything")
+	}
+	if e.Area() != 0 || e.Width() != 0 || e.Height() != 0 {
+		t.Error("empty rect must have zero extent")
+	}
+}
+
+func TestRectPredicates(t *testing.T) {
+	a := rectFrom(0, 0, 10, 10)
+	b := rectFrom(5, 5, 15, 15)
+	c := rectFrom(11, 11, 12, 12)
+	d := rectFrom(10, 10, 20, 20) // touches a at corner
+
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	if !a.Intersects(d) {
+		t.Error("boundary touch should count as intersection")
+	}
+	if !a.ContainsPoint(Point{5, 5}) || !a.ContainsPoint(Point{0, 0}) || !a.ContainsPoint(Point{10, 10}) {
+		t.Error("ContainsPoint interior/boundary failed")
+	}
+	if a.ContainsPoint(Point{10.001, 5}) {
+		t.Error("ContainsPoint outside failed")
+	}
+	if !a.ContainsRect(rectFrom(1, 1, 9, 9)) {
+		t.Error("ContainsRect inner failed")
+	}
+	if a.ContainsRect(b) {
+		t.Error("ContainsRect partial overlap should be false")
+	}
+	got := a.Intersect(b)
+	want := rectFrom(5, 5, 10, 10)
+	if got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersect(c).IsEmpty() {
+		t.Error("disjoint Intersect should be empty")
+	}
+}
+
+func TestRectDistance(t *testing.T) {
+	a := rectFrom(0, 0, 1, 1)
+	b := rectFrom(4, 0, 5, 1) // 3 apart horizontally
+	if got := a.Distance(b); got != 3 {
+		t.Errorf("Distance = %v, want 3", got)
+	}
+	c := rectFrom(4, 5, 5, 6) // 3 right, 4 up -> 5
+	if got := a.Distance(c); got != 5 {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+	if got := a.Distance(rectFrom(0.5, 0.5, 2, 2)); got != 0 {
+		t.Errorf("overlapping Distance = %v, want 0", got)
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	if got := (Point{0, 0}).Distance(Point{3, 4}); got != 5 {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	// Unit square.
+	sq := NewPolygon([]Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}})
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},   // vertex
+		{Point{5, 0}, true},   // edge
+		{Point{10, 10}, true}, // far vertex
+		{Point{-1, 5}, false},
+		{Point{11, 5}, false},
+		{Point{5, 10.5}, false},
+	}
+	for _, c := range cases {
+		if got := sq.ContainsPoint(c.p); got != c.want {
+			t.Errorf("square.ContainsPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+
+	// Concave "L" polygon.
+	l := NewPolygon([]Point{{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}})
+	if !l.ContainsPoint(Point{1, 3}) {
+		t.Error("L should contain (1,3)")
+	}
+	if l.ContainsPoint(Point{3, 3}) {
+		t.Error("L should not contain (3,3) in the notch")
+	}
+}
+
+func TestPolygonIntersects(t *testing.T) {
+	a := NewPolygon([]Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}})
+	b := NewPolygon([]Point{{2, 2}, {6, 2}, {6, 6}, {2, 6}})
+	c := NewPolygon([]Point{{10, 10}, {12, 10}, {11, 12}})
+	inner := NewPolygon([]Point{{1, 1}, {2, 1}, {2, 2}, {1, 2}})
+
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping polygons must intersect")
+	}
+	if a.Intersects(c) || c.Intersects(a) {
+		t.Error("disjoint polygons must not intersect")
+	}
+	if !a.Intersects(inner) || !inner.Intersects(a) {
+		t.Error("containment must count as intersection")
+	}
+}
+
+func TestPolygonPanicsOnTinyRing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPolygon with 2 vertices should panic")
+		}
+	}()
+	NewPolygon([]Point{{0, 0}, {1, 1}})
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	e := wire.NewEncoder(0)
+	p := Point{1.5, -2.25}
+	r := rectFrom(-1, -2, 3, 4)
+	poly := NewPolygon([]Point{{0, 0}, {5, 0}, {5, 5}, {0, 5}})
+	p.MarshalWire(e)
+	r.MarshalWire(e)
+	poly.MarshalWire(e)
+
+	d := wire.NewDecoder(e.Bytes())
+	var p2 Point
+	var r2 Rect
+	var poly2 Polygon
+	if err := p2.UnmarshalWire(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.UnmarshalWire(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := poly2.UnmarshalWire(d); err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Errorf("point round trip: %v != %v", p2, p)
+	}
+	if r2 != r {
+		t.Errorf("rect round trip: %v != %v", r2, r)
+	}
+	if len(poly2.Ring) != 4 || poly2.MBR() != poly.MBR() {
+		t.Errorf("polygon round trip: %v != %v", &poly2, poly)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("decoder has %d leftover bytes", d.Remaining())
+	}
+}
+
+func TestGridTiles(t *testing.T) {
+	g := NewGrid(rectFrom(0, 0, 10, 10), 5)
+	if g.NumTiles() != 25 {
+		t.Fatalf("NumTiles = %d, want 25", g.NumTiles())
+	}
+	if got := g.Tile(0); got != rectFrom(0, 0, 2, 2) {
+		t.Errorf("Tile(0) = %v", got)
+	}
+	if got := g.Tile(24); got != rectFrom(8, 8, 10, 10) {
+		t.Errorf("Tile(24) = %v", got)
+	}
+	// A rect inside one tile.
+	ids := g.OverlappingTiles(rectFrom(0.5, 0.5, 1.5, 1.5), nil)
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("OverlappingTiles single = %v", ids)
+	}
+	// A rect spanning 2x2 tiles.
+	ids = g.OverlappingTiles(rectFrom(1.5, 1.5, 2.5, 2.5), nil)
+	if len(ids) != 4 {
+		t.Errorf("OverlappingTiles 2x2 = %v", ids)
+	}
+	// Out-of-space rect clamps rather than drops.
+	ids = g.OverlappingTiles(rectFrom(-5, -5, -4, -4), nil)
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("OverlappingTiles clamped = %v", ids)
+	}
+}
+
+func TestGridPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid(_, 0) should panic")
+		}
+	}()
+	NewGrid(rectFrom(0, 0, 1, 1), 0)
+}
+
+func TestReferencePointTile(t *testing.T) {
+	g := NewGrid(rectFrom(0, 0, 10, 10), 5)
+	// Rect spanning tiles 0,1,5,6: reference point (its MinX/MinY corner)
+	// is in tile 0.
+	r := rectFrom(1.5, 1.5, 2.5, 2.5)
+	if got := g.ReferencePointTile(r); got != 0 {
+		t.Errorf("ReferencePointTile = %d, want 0", got)
+	}
+	ids := g.OverlappingTiles(r, nil)
+	found := false
+	for _, id := range ids {
+		if id == g.ReferencePointTile(r) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reference tile must be among the overlapping tiles")
+	}
+}
+
+// Property: the reference point tile of the intersection of two
+// overlapping rects is an overlapping tile of BOTH rects — this is what
+// makes reference-point deduplication lossless.
+func TestQuickReferencePointSound(t *testing.T) {
+	g := NewGrid(rectFrom(0, 0, 100, 100), 8)
+	rng := rand.New(rand.NewSource(7))
+	randRect := func() Rect {
+		x, y := rng.Float64()*90, rng.Float64()*90
+		return rectFrom(x, y, x+rng.Float64()*10, y+rng.Float64()*10)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randRect(), randRect()
+		if !a.Intersects(b) {
+			continue
+		}
+		ref := g.ReferencePointTile(a.Intersect(b))
+		inA, inB := false, false
+		for _, id := range g.OverlappingTiles(a, nil) {
+			if id == ref {
+				inA = true
+			}
+		}
+		for _, id := range g.OverlappingTiles(b, nil) {
+			if id == ref {
+				inB = true
+			}
+		}
+		if !inA || !inB {
+			t.Fatalf("trial %d: ref tile %d not shared (a=%v b=%v)", trial, ref, a, b)
+		}
+	}
+}
+
+// Property: two intersecting rects always share at least one grid tile,
+// so grid partitioning never loses a result (completeness of PBSM).
+func TestQuickGridCompleteness(t *testing.T) {
+	g := NewGrid(rectFrom(0, 0, 1, 1), 16)
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 1) }
+		a := rectFrom(norm(ax), norm(ay), norm(ax)+norm(aw)/4, norm(ay)+norm(ah)/4)
+		b := rectFrom(norm(bx), norm(by), norm(bx)+norm(bw)/4, norm(by)+norm(bh)/4)
+		if !a.Intersects(b) {
+			return true
+		}
+		ta := g.OverlappingTiles(a, nil)
+		tb := g.OverlappingTiles(b, nil)
+		set := make(map[int]bool, len(ta))
+		for _, id := range ta {
+			set[id] = true
+		}
+		for _, id := range tb {
+			if set[id] {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rect intersection is symmetric and Union is commutative,
+// associative enough for summary merging (MBR aggregation order must
+// not matter for the final summary).
+func TestQuickRectAlgebra(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 float64) bool {
+		ok := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+		for _, v := range []float64{x1, y1, x2, y2, x3, y3, x4, y4} {
+			if !ok(v) {
+				return true
+			}
+		}
+		a := rectFrom(x1, y1, x2, y2)
+		b := rectFrom(x3, y3, x4, y4)
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomItems(rng *rand.Rand, n int, span float64) []SweepItem {
+	items := make([]SweepItem, n)
+	for i := range items {
+		x, y := rng.Float64()*span, rng.Float64()*span
+		items[i] = SweepItem{
+			MBR: rectFrom(x, y, x+rng.Float64()*5, y+rng.Float64()*5),
+			Ref: i,
+		}
+	}
+	return items
+}
+
+// Property: plane-sweep join produces exactly the nested-loop result set.
+func TestPlaneSweepMatchesNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		left := randomItems(rng, 80, 40)
+		right := randomItems(rng, 60, 40)
+
+		collect := func(join func([]SweepItem, []SweepItem, func(int, int))) map[[2]int]int {
+			out := map[[2]int]int{}
+			l := append([]SweepItem(nil), left...)
+			r := append([]SweepItem(nil), right...)
+			join(l, r, func(a, b int) { out[[2]int{a, b}]++ })
+			return out
+		}
+		sweep := collect(PlaneSweepJoin)
+		nested := collect(NestedLoopJoin)
+		if len(sweep) != len(nested) {
+			t.Fatalf("trial %d: sweep %d pairs, nested %d pairs", trial, len(sweep), len(nested))
+		}
+		for k, v := range nested {
+			if sweep[k] != v {
+				t.Fatalf("trial %d: pair %v count sweep=%d nested=%d", trial, k, sweep[k], v)
+			}
+		}
+		for k, v := range sweep {
+			if v != 1 {
+				t.Fatalf("trial %d: pair %v emitted %d times by sweep", trial, k, v)
+			}
+		}
+	}
+}
+
+func TestPlaneSweepEmptyInputs(t *testing.T) {
+	called := false
+	PlaneSweepJoin(nil, nil, func(int, int) { called = true })
+	PlaneSweepJoin([]SweepItem{{MBR: rectFrom(0, 0, 1, 1)}}, nil, func(int, int) { called = true })
+	PlaneSweepJoin(nil, []SweepItem{{MBR: rectFrom(0, 0, 1, 1)}}, func(int, int) { called = true })
+	if called {
+		t.Error("emit called on empty input")
+	}
+}

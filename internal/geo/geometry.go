@@ -1,0 +1,59 @@
+package geo
+
+// Geometry is the common interface of all spatial key types, the
+// "geometry" the paper's spatial FUDJ pseudo-code operates on.
+type Geometry interface {
+	// Bounds returns the minimum bounding rectangle.
+	Bounds() Rect
+}
+
+// Bounds implements Geometry.
+func (p Point) Bounds() Rect { return RectFromPoint(p) }
+
+// Bounds implements Geometry.
+func (r Rect) Bounds() Rect { return r }
+
+// Bounds implements Geometry.
+func (p *Polygon) Bounds() Rect { return p.MBR() }
+
+// Intersects reports whether two geometries share at least one point,
+// dispatching on the concrete types: polygon relations are exact;
+// point/rect combinations are exact through their MBRs.
+func Intersects(a, b Geometry) bool {
+	switch av := a.(type) {
+	case *Polygon:
+		switch bv := b.(type) {
+		case *Polygon:
+			return av.Intersects(bv)
+		case Point:
+			return av.ContainsPoint(bv)
+		case Rect:
+			return polygonIntersectsRect(av, bv)
+		}
+	case Point:
+		switch bv := b.(type) {
+		case *Polygon:
+			return bv.ContainsPoint(av)
+		}
+	case Rect:
+		switch bv := b.(type) {
+		case *Polygon:
+			return polygonIntersectsRect(bv, av)
+		}
+	}
+	return a.Bounds().Intersects(b.Bounds())
+}
+
+func polygonIntersectsRect(p *Polygon, r Rect) bool {
+	if !p.MBR().Intersects(r) {
+		return false
+	}
+	if r.ContainsRect(p.MBR()) {
+		return true
+	}
+	rectPoly := NewPolygon([]Point{
+		{X: r.MinX, Y: r.MinY}, {X: r.MaxX, Y: r.MinY},
+		{X: r.MaxX, Y: r.MaxY}, {X: r.MinX, Y: r.MaxY},
+	})
+	return p.Intersects(rectPoly)
+}

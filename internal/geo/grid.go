@@ -1,0 +1,93 @@
+package geo
+
+import "fmt"
+
+// Grid divides a space rectangle into N×N equal-sized tiles numbered
+// row-major from 0. It is the logical bucket structure of the PBSM
+// partitioning scheme: the spatial FUDJ's DIVIDE produces one and its
+// ASSIGN calls OverlappingTiles.
+type Grid struct {
+	Space Rect
+	N     int // tiles per side
+}
+
+// NewGrid constructs a grid over space with n tiles per side. It panics
+// if n < 1, because a grid with no tiles cannot host any bucket.
+func NewGrid(space Rect, n int) Grid {
+	if n < 1 {
+		panic(fmt.Sprintf("geo: grid size must be >= 1, got %d", n))
+	}
+	return Grid{Space: space, N: n}
+}
+
+// NumTiles returns the total number of tiles (N*N).
+func (g Grid) NumTiles() int { return g.N * g.N }
+
+// TileID returns the row-major tile id for cell (col, row).
+func (g Grid) TileID(col, row int) int { return row*g.N + col }
+
+// Tile returns the rectangle covered by tile id.
+func (g Grid) Tile(id int) Rect {
+	col := id % g.N
+	row := id / g.N
+	w := g.Space.Width() / float64(g.N)
+	h := g.Space.Height() / float64(g.N)
+	return Rect{
+		MinX: g.Space.MinX + float64(col)*w,
+		MinY: g.Space.MinY + float64(row)*h,
+		MaxX: g.Space.MinX + float64(col+1)*w,
+		MaxY: g.Space.MinY + float64(row+1)*h,
+	}
+}
+
+// clampCell converts a coordinate to a cell index in [0, N-1].
+func clampCell(v, min, extent float64, n int) int {
+	if extent <= 0 {
+		return 0
+	}
+	c := int((v - min) / extent * float64(n))
+	if c < 0 {
+		c = 0
+	}
+	if c >= n {
+		c = n - 1
+	}
+	return c
+}
+
+// OverlappingTiles appends to dst the ids of all tiles whose rectangle
+// intersects r, and returns the extended slice. Geometries outside the
+// grid space are clamped to the nearest boundary tiles so that no
+// record is ever dropped at partitioning time (the verify phase remains
+// the correctness gate). This is the paper's getOverlappingTileIds.
+func (g Grid) OverlappingTiles(r Rect, dst []int) []int {
+	if r.IsEmpty() {
+		return dst
+	}
+	c0 := clampCell(r.MinX, g.Space.MinX, g.Space.Width(), g.N)
+	c1 := clampCell(r.MaxX, g.Space.MinX, g.Space.Width(), g.N)
+	r0 := clampCell(r.MinY, g.Space.MinY, g.Space.Height(), g.N)
+	r1 := clampCell(r.MaxY, g.Space.MinY, g.Space.Height(), g.N)
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			dst = append(dst, g.TileID(col, row))
+		}
+	}
+	return dst
+}
+
+// ReferencePointTile returns the id of the unique tile containing the
+// top-left corner of the intersection of r with the grid space. It
+// implements the Reference Point duplicate-avoidance method of
+// PBSM (§VII-E): a candidate pair is reported only in the tile holding
+// the reference point of the pair's MBR intersection.
+func (g Grid) ReferencePointTile(r Rect) int {
+	clipped := r.Intersect(g.Space)
+	if clipped.IsEmpty() {
+		// Outside the space entirely: fall back to the clamped corner of r.
+		clipped = r
+	}
+	col := clampCell(clipped.MinX, g.Space.MinX, g.Space.Width(), g.N)
+	row := clampCell(clipped.MinY, g.Space.MinY, g.Space.Height(), g.N)
+	return g.TileID(col, row)
+}

@@ -1,0 +1,120 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fudj/internal/wire"
+)
+
+func line(pts ...Point) *LineString { return NewLineString(pts) }
+
+func TestLineStringBasics(t *testing.T) {
+	ls := line(Point{X: 0, Y: 0}, Point{X: 4, Y: 0}, Point{X: 4, Y: 3})
+	want := Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 3}
+	if ls.MBR() != want {
+		t.Errorf("MBR = %v, want %v", ls.MBR(), want)
+	}
+	if ls.Bounds() != want {
+		t.Errorf("Bounds = %v", ls.Bounds())
+	}
+	if got := ls.String(); got != "LINESTRING(3 points, mbr=RECT(0 0, 4 3))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNewLineStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("single-point linestring should panic")
+		}
+	}()
+	NewLineString([]Point{{X: 0, Y: 0}})
+}
+
+func TestPointSegmentDistance(t *testing.T) {
+	a, b := Point{X: 0, Y: 0}, Point{X: 10, Y: 0}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{X: 5, Y: 3}, 3},  // above the middle
+		{Point{X: -4, Y: 3}, 5}, // beyond the start: distance to endpoint
+		{Point{X: 13, Y: 4}, 5}, // beyond the end
+		{Point{X: 5, Y: 0}, 0},  // on the segment
+	}
+	for _, c := range cases {
+		if got := pointSegmentDistance(c.p, a, b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("pointSegmentDistance(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment.
+	if got := pointSegmentDistance(Point{X: 3, Y: 4}, a, a); got != 5 {
+		t.Errorf("degenerate segment distance = %v, want 5", got)
+	}
+}
+
+func TestLineStringDistance(t *testing.T) {
+	a := line(Point{X: 0, Y: 0}, Point{X: 10, Y: 0})
+	b := line(Point{X: 0, Y: 4}, Point{X: 10, Y: 4})
+	if got := a.Distance(b); got != 4 {
+		t.Errorf("parallel distance = %v, want 4", got)
+	}
+	crossing := line(Point{X: 5, Y: -5}, Point{X: 5, Y: 5})
+	if got := a.Distance(crossing); got != 0 {
+		t.Errorf("crossing distance = %v, want 0", got)
+	}
+	if !a.WithinDistance(b, 4) || a.WithinDistance(b, 3.9) {
+		t.Error("WithinDistance thresholding wrong")
+	}
+	// The MBR short-circuit must agree with the exact answer.
+	far := line(Point{X: 100, Y: 100}, Point{X: 110, Y: 100})
+	if a.WithinDistance(far, 50) {
+		t.Error("far trajectories within 50?")
+	}
+}
+
+// Property: WithinDistance's MBR short-circuit never changes the
+// answer, and distance is symmetric.
+func TestQuickLineStringDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	mk := func() *LineString {
+		n := 2 + rng.Intn(5)
+		pts := make([]Point, n)
+		pts[0] = Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		for i := 1; i < n; i++ {
+			pts[i] = Point{X: pts[i-1].X + rng.Float64()*6 - 3, Y: pts[i-1].Y + rng.Float64()*6 - 3}
+		}
+		return NewLineString(pts)
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := mk(), mk()
+		dab, dba := a.Distance(b), b.Distance(a)
+		if math.Abs(dab-dba) > 1e-9 {
+			t.Fatalf("distance not symmetric: %v vs %v", dab, dba)
+		}
+		for _, d := range []float64{0.5, 3, 20} {
+			if a.WithinDistance(b, d) != (dab <= d) {
+				t.Fatalf("WithinDistance(%v) disagrees with Distance %v", d, dab)
+			}
+		}
+		// The MBR distance lower-bounds the true distance.
+		if lb := a.MBR().Distance(b.MBR()); lb > dab+1e-9 {
+			t.Fatalf("MBR distance %v exceeds exact %v", lb, dab)
+		}
+	}
+}
+
+func TestLineStringWireRoundTrip(t *testing.T) {
+	ls := line(Point{X: 1, Y: 2}, Point{X: 3, Y: 4}, Point{X: -1, Y: 0})
+	e := wire.NewEncoder(0)
+	ls.MarshalWire(e)
+	var got LineString
+	if err := got.UnmarshalWire(wire.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 3 || got.MBR() != ls.MBR() {
+		t.Errorf("round trip = %v", &got)
+	}
+}

@@ -1,0 +1,57 @@
+package geo
+
+import "sort"
+
+// SweepItem is one rectangle entering a plane-sweep join, carrying an
+// opaque payload index so callers can map hits back to their records.
+type SweepItem struct {
+	MBR Rect
+	Ref int
+}
+
+// PlaneSweepJoin reports every pair (i from left, j from right) whose
+// MBRs intersect, invoking emit(left[i].Ref, right[j].Ref) for each.
+// It implements the classic forward plane-sweep over the x-axis used by
+// the paper's advanced built-in spatial operator (§VII-F): both sides
+// are sorted by MinX, then the sweep advances the side with the smaller
+// head and scans the other side only while x-extents overlap.
+//
+// The function mutates the order of both input slices.
+func PlaneSweepJoin(left, right []SweepItem, emit func(l, r int)) {
+	sort.Slice(left, func(i, j int) bool { return left[i].MBR.MinX < left[j].MBR.MinX })
+	sort.Slice(right, func(i, j int) bool { return right[i].MBR.MinX < right[j].MBR.MinX })
+
+	i, j := 0, 0
+	for i < len(left) && j < len(right) {
+		if left[i].MBR.MinX <= right[j].MBR.MinX {
+			l := left[i]
+			for k := j; k < len(right) && right[k].MBR.MinX <= l.MBR.MaxX; k++ {
+				if l.MBR.Intersects(right[k].MBR) {
+					emit(l.Ref, right[k].Ref)
+				}
+			}
+			i++
+		} else {
+			r := right[j]
+			for k := i; k < len(left) && left[k].MBR.MinX <= r.MBR.MaxX; k++ {
+				if r.MBR.Intersects(left[k].MBR) {
+					emit(left[k].Ref, r.Ref)
+				}
+			}
+			j++
+		}
+	}
+}
+
+// NestedLoopJoin is the brute-force counterpart of PlaneSweepJoin with
+// identical output semantics, used as the correctness oracle in tests
+// and as the unoptimized local join in ablation benchmarks.
+func NestedLoopJoin(left, right []SweepItem, emit func(l, r int)) {
+	for _, l := range left {
+		for _, r := range right {
+			if l.MBR.Intersects(r.MBR) {
+				emit(l.Ref, r.Ref)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package interval provides the time-interval substrate of the
+// overlapping-interval FUDJ (§V-C), modelled on the OIPJoin granule
+// scheme: the joint timeline is cut into equal granules, each interval
+// is assigned to the smallest [startGranule, endGranule] bucket that
+// covers it, and bucket overlap is decided on the packed granule pair.
+package interval
+
+import (
+	"fmt"
+
+	"fudj/internal/wire"
+)
+
+// Interval is a half-open-ish time interval [Start, End] in abstract
+// ticks (the paper converts intervals to long arrays the same way).
+// Intervals with End < Start are invalid and rejected by Valid.
+type Interval struct {
+	Start, End int64
+}
+
+// Valid reports whether the interval is well-formed.
+func (iv Interval) Valid() bool { return iv.End >= iv.Start }
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Start, iv.End) }
+
+// Overlaps reports whether two intervals share at least one instant,
+// matching the paper's VERIFY: (i1.start <= i2.end) and (i1.end >= i2.start).
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start <= other.End && iv.End >= other.Start
+}
+
+// Duration returns End-Start.
+func (iv Interval) Duration() int64 { return iv.End - iv.Start }
+
+// MarshalWire encodes the interval.
+func (iv Interval) MarshalWire(e *wire.Encoder) {
+	e.Varint(iv.Start)
+	e.Varint(iv.End)
+}
+
+// UnmarshalWire decodes the interval.
+func (iv *Interval) UnmarshalWire(d *wire.Decoder) error {
+	var err error
+	if iv.Start, err = d.Varint(); err != nil {
+		return err
+	}
+	iv.End, err = d.Varint()
+	return err
+}
+
+// granuleBits is the number of bits reserved for each granule index in
+// a packed bucket id. The paper packs (start<<16)|end into an int; we
+// keep the same layout (so bucket counts up to 65536 granules work) but
+// document the limit instead of silently wrapping.
+const granuleBits = 16
+
+// MaxGranules is the largest granule count a packed bucket id supports.
+const MaxGranules = 1 << granuleBits
+
+// Granulator maps intervals to granule buckets over a fixed range. It
+// is the payload of the interval FUDJ's PPlan.
+type Granulator struct {
+	MinStart int64 // left edge of the unified timeline
+	MaxEnd   int64 // right edge of the unified timeline
+	N        int   // number of granules
+	width    int64 // granule width in ticks (>= 1)
+}
+
+// NewGranulator divides [minStart, maxEnd] into n granules. It panics
+// if n is outside (0, MaxGranules] or the range is inverted, since a
+// partitioning plan with no buckets is meaningless.
+func NewGranulator(minStart, maxEnd int64, n int) Granulator {
+	if n <= 0 || n > MaxGranules {
+		panic(fmt.Sprintf("interval: granule count %d out of (0,%d]", n, MaxGranules))
+	}
+	if maxEnd < minStart {
+		panic(fmt.Sprintf("interval: inverted range [%d,%d]", minStart, maxEnd))
+	}
+	span := maxEnd - minStart + 1
+	w := span / int64(n)
+	if w < 1 {
+		w = 1
+	}
+	return Granulator{MinStart: minStart, MaxEnd: maxEnd, N: n, width: w}
+}
+
+// Width returns the granule width in ticks.
+func (g Granulator) Width() int64 { return g.width }
+
+// granule clamps a tick to a granule index in [0, N-1].
+func (g Granulator) granule(t int64) int {
+	idx := (t - g.MinStart) / g.width
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= int64(g.N) {
+		idx = int64(g.N) - 1
+	}
+	return int(idx)
+}
+
+// Bucket returns the packed bucket id for iv: the smallest granule
+// range [startGranule, endGranule] covering the interval, packed as
+// (start << 16) | end. Every interval maps to exactly one bucket
+// (single-assign), which is why the interval join needs a theta MATCH.
+func (g Granulator) Bucket(iv Interval) int {
+	s := g.granule(iv.Start)
+	e := g.granule(iv.End)
+	return PackBucket(s, e)
+}
+
+// PackBucket packs a (startGranule, endGranule) pair into one bucket id.
+func PackBucket(start, end int) int {
+	return start<<granuleBits | end
+}
+
+// UnpackBucket splits a packed bucket id back into granule indexes.
+func UnpackBucket(id int) (start, end int) {
+	return id >> granuleBits, id & (MaxGranules - 1)
+}
+
+// BucketsOverlap reports whether two packed buckets can contain
+// overlapping intervals — the paper's MATCH function:
+// (b1Start <= b2End) and (b1End >= b2Start).
+func BucketsOverlap(b1, b2 int) bool {
+	s1, e1 := UnpackBucket(b1)
+	s2, e2 := UnpackBucket(b2)
+	return s1 <= e2 && e1 >= s2
+}
+
+// MarshalWire encodes the granulator.
+func (g Granulator) MarshalWire(e *wire.Encoder) {
+	e.Varint(g.MinStart)
+	e.Varint(g.MaxEnd)
+	e.Varint(int64(g.N))
+	e.Varint(g.width)
+}
+
+// UnmarshalWire decodes the granulator.
+func (g *Granulator) UnmarshalWire(d *wire.Decoder) error {
+	var err error
+	if g.MinStart, err = d.Varint(); err != nil {
+		return err
+	}
+	if g.MaxEnd, err = d.Varint(); err != nil {
+		return err
+	}
+	n, err := d.Varint()
+	if err != nil {
+		return err
+	}
+	g.N = int(n)
+	g.width, err = d.Varint()
+	return err
+}

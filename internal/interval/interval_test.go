@@ -1,0 +1,169 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fudj/internal/wire"
+)
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Interval{0, 10}, Interval{5, 15}, true},
+		{Interval{0, 10}, Interval{10, 20}, true}, // touching endpoints overlap
+		{Interval{0, 10}, Interval{11, 20}, false},
+		{Interval{5, 5}, Interval{5, 5}, true}, // degenerate instants
+		{Interval{0, 100}, Interval{40, 50}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !(Interval{1, 1}).Valid() || !(Interval{0, 5}).Valid() {
+		t.Error("valid intervals reported invalid")
+	}
+	if (Interval{5, 4}).Valid() {
+		t.Error("inverted interval reported valid")
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	for _, c := range [][2]int{{0, 0}, {1, 5}, {65535, 65535}, {100, 200}} {
+		id := PackBucket(c[0], c[1])
+		s, e := UnpackBucket(id)
+		if s != c[0] || e != c[1] {
+			t.Errorf("pack/unpack(%d,%d) = (%d,%d)", c[0], c[1], s, e)
+		}
+	}
+}
+
+func TestGranulatorBucket(t *testing.T) {
+	g := NewGranulator(0, 99, 10) // width 10
+	if g.Width() != 10 {
+		t.Fatalf("Width = %d, want 10", g.Width())
+	}
+	// Interval fully inside granule 2.
+	s, e := UnpackBucket(g.Bucket(Interval{20, 29}))
+	if s != 2 || e != 2 {
+		t.Errorf("bucket for [20,29] = (%d,%d), want (2,2)", s, e)
+	}
+	// Interval spanning granules 1..3.
+	s, e = UnpackBucket(g.Bucket(Interval{15, 35}))
+	if s != 1 || e != 3 {
+		t.Errorf("bucket for [15,35] = (%d,%d), want (1,3)", s, e)
+	}
+	// Out-of-range ticks clamp to the edge granules.
+	s, e = UnpackBucket(g.Bucket(Interval{-50, 500}))
+	if s != 0 || e != 9 {
+		t.Errorf("bucket for [-50,500] = (%d,%d), want (0,9)", s, e)
+	}
+}
+
+func TestGranulatorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero granules":  func() { NewGranulator(0, 10, 0) },
+		"too many":       func() { NewGranulator(0, 10, MaxGranules+1) },
+		"inverted range": func() { NewGranulator(10, 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBucketsOverlap(t *testing.T) {
+	b1 := PackBucket(0, 2)
+	b2 := PackBucket(2, 5)
+	b3 := PackBucket(3, 5)
+	if !BucketsOverlap(b1, b2) {
+		t.Error("touching granule ranges should match")
+	}
+	if BucketsOverlap(b1, b3) {
+		t.Error("disjoint granule ranges should not match")
+	}
+	if !BucketsOverlap(b3, b3) {
+		t.Error("bucket must match itself")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	e := wire.NewEncoder(0)
+	iv := Interval{-5, 1000}
+	g := NewGranulator(-100, 900, 50)
+	iv.MarshalWire(e)
+	g.MarshalWire(e)
+	d := wire.NewDecoder(e.Bytes())
+	var iv2 Interval
+	var g2 Granulator
+	if err := iv2.UnmarshalWire(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.UnmarshalWire(d); err != nil {
+		t.Fatal(err)
+	}
+	if iv2 != iv {
+		t.Errorf("interval round trip: %v != %v", iv2, iv)
+	}
+	if g2 != g {
+		t.Errorf("granulator round trip: %+v != %+v", g2, g)
+	}
+}
+
+// Property: granule partitioning is complete — overlapping intervals
+// always land in buckets whose granule ranges overlap, so MATCH never
+// prunes a true result.
+func TestQuickGranuleCompleteness(t *testing.T) {
+	g := NewGranulator(0, 9999, 100)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5000; trial++ {
+		a := Interval{Start: rng.Int63n(10000)}
+		a.End = a.Start + rng.Int63n(500)
+		b := Interval{Start: rng.Int63n(10000)}
+		b.End = b.Start + rng.Int63n(500)
+		if a.Overlaps(b) && !BucketsOverlap(g.Bucket(a), g.Bucket(b)) {
+			t.Fatalf("trial %d: %v and %v overlap but buckets %d,%d do not match",
+				trial, a, b, g.Bucket(a), g.Bucket(b))
+		}
+	}
+}
+
+// Property: each interval is assigned to exactly one bucket and that
+// bucket's granule range covers the interval (single-assign soundness).
+func TestQuickBucketCoversInterval(t *testing.T) {
+	g := NewGranulator(0, 999, 20)
+	f := func(start uint16, dur uint8) bool {
+		iv := Interval{Start: int64(start) % 1000}
+		iv.End = iv.Start + int64(dur)
+		s, e := UnpackBucket(g.Bucket(iv))
+		if s > e {
+			return false
+		}
+		lo := g.MinStart + int64(s)*g.Width()
+		hi := g.MinStart + int64(e+1)*g.Width() - 1
+		// Clamped ends may exceed the top granule; allow the final granule
+		// to absorb the tail.
+		if e == g.N-1 {
+			hi = 1 << 60
+		}
+		return iv.Start >= lo && iv.End <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

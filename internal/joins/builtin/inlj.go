@@ -1,0 +1,75 @@
+package builtin
+
+import (
+	"fmt"
+
+	"fudj/internal/cluster"
+	"fudj/internal/expr"
+	"fudj/internal/geo"
+	"fudj/internal/spindex"
+	"fudj/internal/types"
+)
+
+// SpatialINLJ is the indexed nested-loop join arm from the paper's
+// introduction: broadcast the left (indexed) side, bulk-load an R-tree
+// over it on every partition, then probe with each local right record
+// and verify exactly. No summarize/partition phases — the index *is*
+// the pruning — which is why it beats plain NLJ but, unlike the
+// partition-based joins, re-broadcasts and re-indexes the whole left
+// side everywhere and degrades as the indexed side grows.
+// params[0] is accepted (and ignored) so the operator is signature-
+// compatible with spatial_join's grid parameter.
+func SpatialINLJ(c *cluster.Cluster, left cluster.Data, leftKey expr.Evaluator,
+	right cluster.Data, rightKey expr.Evaluator, params []types.Value) (cluster.Data, error) {
+
+	if len(params) > 1 {
+		return nil, fmt.Errorf("builtin inlj: at most one (ignored) parameter, got %d", len(params))
+	}
+	lRepl, err := c.Replicate(left)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(right, func(part int, in []types.Record) ([]types.Record, error) {
+		// Build the per-partition index over the broadcast left side.
+		lRecs := lRepl[part]
+		entries := make([]spindex.Entry, 0, len(lRecs))
+		lKeys := make([]types.Value, len(lRecs))
+		for i, rec := range lRecs {
+			v, err := leftKey(rec)
+			if err != nil {
+				return nil, err
+			}
+			m, ok := v.MBR()
+			if !ok {
+				return nil, fmt.Errorf("builtin inlj: left key %v is not spatial", v.Kind())
+			}
+			lKeys[i] = v
+			entries = append(entries, spindex.Entry{MBR: m, Ref: i})
+		}
+		tree := spindex.Build(entries)
+
+		var out []types.Record
+		for _, rec := range in {
+			v, err := rightKey(rec)
+			if err != nil {
+				return nil, err
+			}
+			m, ok := v.MBR()
+			if !ok {
+				return nil, fmt.Errorf("builtin inlj: right key %v is not spatial", v.Kind())
+			}
+			rg, _ := v.Geometry()
+			tree.Search(m, func(e spindex.Entry) {
+				lg, _ := lKeys[e.Ref].Geometry()
+				if !geo.Intersects(lg, rg) {
+					return
+				}
+				joined := make(types.Record, 0, len(lRecs[e.Ref])+len(rec))
+				joined = append(joined, lRecs[e.Ref]...)
+				joined = append(joined, rec...)
+				out = append(out, joined)
+			})
+		}
+		return out, nil
+	})
+}

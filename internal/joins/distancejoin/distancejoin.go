@@ -1,0 +1,163 @@
+// Package distancejoin implements a point distance join as a FUDJ
+// library: report every pair of points within distance d — the
+// building block of the kNN-style joins the paper cites as targets for
+// the framework ([40], [41] in its bibliography).
+//
+// The algorithm is single-assign with a custom theta MATCH: DIVIDE
+// lays a square grid whose cell side equals d, ASSIGN puts each point
+// in its single cell, MATCH accepts neighboring (Chebyshev-adjacent)
+// cells — any pair within d must live in adjacent cells — and VERIFY
+// computes the exact Euclidean distance. Because each point lives in
+// exactly one cell, no duplicate handling is needed.
+package distancejoin
+
+import (
+	"fmt"
+	"math"
+
+	"fudj/internal/core"
+	"fudj/internal/geo"
+	"fudj/internal/wire"
+)
+
+// Summary is the running MBR of one side's points.
+type Summary struct {
+	MBR geo.Rect
+}
+
+// NewSummary returns the identity summary.
+func NewSummary() Summary { return Summary{MBR: geo.EmptyRect()} }
+
+// MarshalWire implements wire.Marshaler.
+func (s Summary) MarshalWire(e *wire.Encoder) { s.MBR.MarshalWire(e) }
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (s *Summary) UnmarshalWire(d *wire.Decoder) error { return s.MBR.UnmarshalWire(d) }
+
+// cellBits is the bit budget for each cell coordinate inside a packed
+// bucket id (~33M cells per axis on 64-bit ints).
+const cellBits = 25
+
+// maxCells caps the grid so packed ids stay within the bit budget.
+const maxCells = 1 << cellBits
+
+// Plan is the distance-join PPlan: grid origin, cell side (= d), and
+// the distance threshold itself.
+type Plan struct {
+	MinX, MinY float64
+	Cell       float64
+	D          float64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (p Plan) MarshalWire(e *wire.Encoder) {
+	e.Float64(p.MinX)
+	e.Float64(p.MinY)
+	e.Float64(p.Cell)
+	e.Float64(p.D)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *Plan) UnmarshalWire(d *wire.Decoder) error {
+	var err error
+	if p.MinX, err = d.Float64(); err != nil {
+		return err
+	}
+	if p.MinY, err = d.Float64(); err != nil {
+		return err
+	}
+	if p.Cell, err = d.Float64(); err != nil {
+		return err
+	}
+	p.D, err = d.Float64()
+	return err
+}
+
+// CellOf returns the clamped grid cell of a point.
+func (p Plan) CellOf(pt geo.Point) (cx, cy int) {
+	cx = int(math.Floor((pt.X - p.MinX) / p.Cell))
+	cy = int(math.Floor((pt.Y - p.MinY) / p.Cell))
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= maxCells {
+		cx = maxCells - 1
+	}
+	if cy >= maxCells {
+		cy = maxCells - 1
+	}
+	return cx, cy
+}
+
+// PackCell packs a cell coordinate pair into one bucket id.
+func PackCell(cx, cy int) core.BucketID { return cx<<cellBits | cy }
+
+// UnpackCell splits a packed bucket id back into cell coordinates.
+func UnpackCell(id core.BucketID) (cx, cy int) {
+	return id >> cellBits, id & (maxCells - 1)
+}
+
+// CellsAdjacent reports whether two packed cells are identical or
+// Chebyshev-adjacent — the theta MATCH condition.
+func CellsAdjacent(b1, b2 core.BucketID) bool {
+	x1, y1 := UnpackCell(b1)
+	x2, y2 := UnpackCell(b2)
+	return absInt(x1-x2) <= 1 && absInt(y1-y2) <= 1
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// New returns the distance-join FUDJ. The single parameter is the
+// distance threshold d (a float).
+func New() core.Join {
+	return core.Wrap(core.Spec[geo.Point, geo.Point, Summary, Plan]{
+		Name:   "points_within",
+		Params: 1,
+		Dedup:  core.DedupNone, // single-assign: no duplicates possible
+
+		NewSummary: NewSummary,
+		LocalAggLeft: func(pt geo.Point, s Summary) Summary {
+			s.MBR = s.MBR.Union(geo.RectFromPoint(pt))
+			return s
+		},
+		GlobalAgg: func(a, b Summary) Summary {
+			a.MBR = a.MBR.Union(b.MBR)
+			return a
+		},
+		Divide: func(l, r Summary, params []any) (Plan, error) {
+			d, ok := params[0].(float64)
+			if !ok || d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+				return Plan{}, fmt.Errorf("distancejoin: distance must be a positive finite float, got %v", params[0])
+			}
+			space := l.MBR.Union(r.MBR)
+			if space.IsEmpty() {
+				space = geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+			}
+			return Plan{MinX: space.MinX, MinY: space.MinY, Cell: d, D: d}, nil
+		},
+		AssignLeft: func(pt geo.Point, p Plan, dst []core.BucketID) []core.BucketID {
+			cx, cy := p.CellOf(pt)
+			return append(dst, PackCell(cx, cy))
+		},
+		Match: CellsAdjacent,
+		Verify: func(_ core.BucketID, l geo.Point, _ core.BucketID, r geo.Point, p Plan) bool {
+			return l.Distance(r) <= p.D
+		},
+	})
+}
+
+// Library packages the distance join as the installable library
+// "distancejoins".
+func Library() *core.Library {
+	lib := core.NewLibrary("distancejoins")
+	lib.MustRegister("knn.PointsWithin", New)
+	return lib
+}

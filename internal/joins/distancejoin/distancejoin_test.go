@@ -1,0 +1,155 @@
+package distancejoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"fudj/internal/core"
+	"fudj/internal/geo"
+)
+
+func randPoints(rng *rand.Rand, n int, span float64) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Point{X: rng.Float64() * span, Y: rng.Float64() * span}
+	}
+	return out
+}
+
+func brute(left, right []geo.Point, d float64) map[[4]float64]int {
+	out := map[[4]float64]int{}
+	for _, l := range left {
+		for _, r := range right {
+			if l.Distance(r) <= d {
+				out[[4]float64{l.X, l.Y, r.X, r.Y}]++
+			}
+		}
+	}
+	return out
+}
+
+func run(t *testing.T, left, right []geo.Point, d float64) (map[[4]float64]int, core.Stats) {
+	t.Helper()
+	la := make([]any, len(left))
+	for i, p := range left {
+		la[i] = p
+	}
+	ra := make([]any, len(right))
+	for i, p := range right {
+		ra[i] = p
+	}
+	got := map[[4]float64]int{}
+	stats, err := core.RunStandalone(New(), la, ra, []any{d}, func(l, r any) {
+		lp, rp := l.(geo.Point), r.(geo.Point)
+		got[[4]float64{lp.X, lp.Y, rp.X, rp.Y}]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 6; trial++ {
+		left := randPoints(rng, 150, 100)
+		right := randPoints(rng, 120, 100)
+		for _, d := range []float64{0.5, 5, 50, 500} {
+			want := brute(left, right, d)
+			got, _ := run(t, left, right, d)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d d=%v: %d distinct pairs, want %d", trial, d, len(got), len(want))
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Fatalf("trial %d d=%v: pair %v count %d, want %d", trial, d, k, got[k], n)
+				}
+			}
+		}
+	}
+}
+
+func TestGridPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	left := randPoints(rng, 300, 1000)
+	right := randPoints(rng, 300, 1000)
+	_, stats := run(t, left, right, 10)
+	if stats.Candidates >= 300*300 {
+		t.Errorf("adjacent-cell matching should prune: %d candidates", stats.Candidates)
+	}
+	if stats.Deduped != 0 {
+		t.Errorf("single-assign join deduped %d pairs", stats.Deduped)
+	}
+}
+
+func TestDescriptor(t *testing.T) {
+	d := New().Descriptor()
+	if d.DefaultMatch {
+		t.Error("distance join has a custom theta match")
+	}
+	if !d.SymmetricSummarize || d.Params != 1 || d.Dedup != core.DedupNone {
+		t.Errorf("descriptor = %+v", d)
+	}
+}
+
+func TestBadDistance(t *testing.T) {
+	pts := []any{geo.Point{X: 1, Y: 1}}
+	for _, bad := range []any{0.0, -1.0, int64(3), "far"} {
+		if _, err := core.RunStandalone(New(), pts, pts, []any{bad}, func(any, any) {}); err == nil {
+			t.Errorf("distance %v should be rejected", bad)
+		}
+	}
+}
+
+func TestPackUnpackCells(t *testing.T) {
+	for _, c := range [][2]int{{0, 0}, {1, 2}, {maxCells - 1, maxCells - 1}, {12345, 678}} {
+		cx, cy := UnpackCell(PackCell(c[0], c[1]))
+		if cx != c[0] || cy != c[1] {
+			t.Errorf("pack/unpack(%v) = (%d,%d)", c, cx, cy)
+		}
+	}
+	if !CellsAdjacent(PackCell(3, 3), PackCell(4, 4)) {
+		t.Error("diagonal neighbors should match")
+	}
+	if CellsAdjacent(PackCell(3, 3), PackCell(5, 3)) {
+		t.Error("two-apart cells should not match")
+	}
+}
+
+func TestStateWireRoundTrip(t *testing.T) {
+	j := New()
+	s := Summary{MBR: geo.Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4}}
+	buf, err := j.EncodeSummary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.DecodeSummary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Summary) != s {
+		t.Errorf("summary round trip = %+v", got)
+	}
+	p := Plan{MinX: -1, MinY: -2, Cell: 5, D: 5}
+	pb, err := j.EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := j.DecodePlan(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.(Plan) != p {
+		t.Errorf("plan round trip = %+v", gp)
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	lib := Library()
+	if lib.Name() != "distancejoins" {
+		t.Error("library name")
+	}
+	if _, err := lib.Resolve("knn.PointsWithin"); err != nil {
+		t.Error(err)
+	}
+}

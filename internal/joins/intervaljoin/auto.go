@@ -1,0 +1,148 @@
+package intervaljoin
+
+import (
+	"fmt"
+
+	"fudj/internal/core"
+	"fudj/internal/interval"
+	"fudj/internal/wire"
+)
+
+// Automatic granule sizing — the §VIII future-work item applied to the
+// interval join. The auto variant's summary additionally gathers the
+// record count and summed duration; DIVIDE then sizes granules near
+// the average interval duration, which keeps each interval in a small
+// bucket while bounding the number of matching bucket pairs.
+
+// AutoSummary is the enriched SUMMARIZE state of the auto variant.
+type AutoSummary struct {
+	Summary
+	Count       int64
+	SumDuration int64
+}
+
+// NewAutoSummary returns the identity summary.
+func NewAutoSummary() AutoSummary { return AutoSummary{Summary: NewSummary()} }
+
+// MarshalWire implements wire.Marshaler.
+func (s AutoSummary) MarshalWire(e *wire.Encoder) {
+	s.Summary.MarshalWire(e)
+	e.Varint(s.Count)
+	e.Varint(s.SumDuration)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (s *AutoSummary) UnmarshalWire(d *wire.Decoder) error {
+	if err := s.Summary.UnmarshalWire(d); err != nil {
+		return err
+	}
+	var err error
+	if s.Count, err = d.Varint(); err != nil {
+		return err
+	}
+	s.SumDuration, err = d.Varint()
+	return err
+}
+
+// autoGranules derives the granule count: granule width ≈ the average
+// interval duration (so a typical interval spans O(1) granules and a
+// bucket matches O(1) other buckets), clamped to the packing limit.
+func autoGranules(l, r AutoSummary) int {
+	total := l.Count + r.Count
+	if total == 0 {
+		return 1
+	}
+	span := max64(l.MaxEnd, r.MaxEnd) - min64(l.MinStart, r.MinStart) + 1
+	avgDur := (l.SumDuration + r.SumDuration) / total
+	if avgDur < 1 {
+		avgDur = 1
+	}
+	n := int(span / avgDur)
+	if n < 1 {
+		n = 1
+	}
+	if n > interval.MaxGranules {
+		n = interval.MaxGranules
+	}
+	return n
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NewAuto returns the overlapping-interval FUDJ with automatic granule
+// sizing: pass 0 as the granule-count parameter and DIVIDE derives it
+// from the gathered statistics.
+func NewAuto() core.Join {
+	return core.Wrap(core.Spec[interval.Interval, interval.Interval, AutoSummary, Plan]{
+		Name:   "interval_overlap_auto",
+		Params: 1,
+		Dedup:  core.DedupNone,
+
+		NewSummary: NewAutoSummary,
+		LocalAggLeft: func(iv interval.Interval, s AutoSummary) AutoSummary {
+			if iv.Start < s.MinStart {
+				s.MinStart = iv.Start
+			}
+			if iv.End > s.MaxEnd {
+				s.MaxEnd = iv.End
+			}
+			s.Empty = false
+			s.Count++
+			s.SumDuration += iv.Duration()
+			return s
+		},
+		GlobalAgg: func(a, b AutoSummary) AutoSummary {
+			if b.MinStart < a.MinStart {
+				a.MinStart = b.MinStart
+			}
+			if b.MaxEnd > a.MaxEnd {
+				a.MaxEnd = b.MaxEnd
+			}
+			a.Empty = a.Empty && b.Empty
+			a.Count += b.Count
+			a.SumDuration += b.SumDuration
+			return a
+		},
+		Divide: func(l, r AutoSummary, params []any) (Plan, error) {
+			n, ok := params[0].(int64)
+			if !ok || n < 0 || int(n) > interval.MaxGranules {
+				return Plan{}, fmt.Errorf("intervaljoin: granule count must be an integer in [0, %d] (0 = auto), got %v",
+					interval.MaxGranules, params[0])
+			}
+			min, max := l.MinStart, l.MaxEnd
+			if r.MinStart < min {
+				min = r.MinStart
+			}
+			if r.MaxEnd > max {
+				max = r.MaxEnd
+			}
+			if l.Empty && r.Empty {
+				min, max = 0, 0
+			}
+			size := int(n)
+			if size == 0 {
+				size = autoGranules(l, r)
+			}
+			return Plan{MinStart: min, MaxEnd: max, N: size}, nil
+		},
+		AssignLeft: func(iv interval.Interval, p Plan, dst []core.BucketID) []core.BucketID {
+			return append(dst, p.Granulator().Bucket(iv))
+		},
+		Match: interval.BucketsOverlap,
+		Verify: func(_ core.BucketID, l interval.Interval, _ core.BucketID, r interval.Interval, _ Plan) bool {
+			return l.Overlaps(r)
+		},
+	})
+}

@@ -1,0 +1,94 @@
+package intervaljoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"fudj/internal/core"
+	"fudj/internal/interval"
+)
+
+func runAuto(t *testing.T, left, right []interval.Interval, n int64) map[[4]int64]int {
+	t.Helper()
+	la := make([]any, len(left))
+	for i, v := range left {
+		la[i] = v
+	}
+	ra := make([]any, len(right))
+	for i, v := range right {
+		ra[i] = v
+	}
+	got := map[[4]int64]int{}
+	_, err := core.RunStandalone(NewAuto(), la, ra, []any{n}, func(l, r any) {
+		lv, rv := l.(interval.Interval), r.(interval.Interval)
+		got[[4]int64{lv.Start, lv.End, rv.Start, rv.End}]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAutoMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	left := randIntervals(rng, 120, 5000, 300)
+	right := randIntervals(rng, 90, 5000, 300)
+	want := brute(left, right)
+	for _, n := range []int64{0, 64} { // 0 = auto
+		got := runAuto(t, left, right, n)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d distinct pairs, want %d", n, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("n=%d: pair %v count %d, want %d", n, k, got[k], c)
+			}
+		}
+	}
+}
+
+func TestAutoGranuleHeuristics(t *testing.T) {
+	if n := autoGranules(NewAutoSummary(), NewAutoSummary()); n != 1 {
+		t.Errorf("empty auto granules = %d, want 1", n)
+	}
+	// Span 10000, average duration 100 → about 100 granules.
+	s := AutoSummary{
+		Summary:     Summary{MinStart: 0, MaxEnd: 9999},
+		Count:       1000,
+		SumDuration: 100 * 1000,
+	}
+	if n := autoGranules(s, NewAutoSummary()); n < 50 || n > 200 {
+		t.Errorf("auto granules = %d, want ~100", n)
+	}
+	// Instant-length intervals clamp at the packing limit.
+	inst := AutoSummary{
+		Summary: Summary{MinStart: 0, MaxEnd: 1 << 40},
+		Count:   10,
+	}
+	if n := autoGranules(inst, NewAutoSummary()); n != interval.MaxGranules {
+		t.Errorf("clamped auto granules = %d, want %d", n, interval.MaxGranules)
+	}
+}
+
+func TestAutoRejectsNegativeParam(t *testing.T) {
+	iv := []any{interval.Interval{Start: 0, End: 1}}
+	if _, err := core.RunStandalone(NewAuto(), iv, iv, []any{int64(-2)}, func(any, any) {}); err == nil {
+		t.Error("negative granule count should be rejected")
+	}
+}
+
+func TestAutoSummaryWireRoundTrip(t *testing.T) {
+	j := NewAuto()
+	s := AutoSummary{Summary: Summary{MinStart: -4, MaxEnd: 99, Empty: false}, Count: 7, SumDuration: 350}
+	buf, err := j.EncodeSummary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.DecodeSummary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(AutoSummary) != s {
+		t.Errorf("round trip = %+v", got)
+	}
+}

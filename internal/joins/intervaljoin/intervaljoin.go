@@ -1,0 +1,154 @@
+// Package intervaljoin implements the Overlapping Intervals FUDJ of
+// §V-C, modelled on OIPJoin: SUMMARIZE finds each side's minimum start
+// and maximum end, DIVIDE cuts the unified timeline into equal
+// granules, ASSIGN places each interval in the single smallest
+// [startGranule, endGranule] bucket covering it (packed as
+// start<<16|end), MATCH tests granule-range overlap — a theta
+// condition, so this is a multi-join that cannot use the hash-join
+// path — and VERIFY tests exact interval overlap.
+//
+// Being single-assign, the join produces no duplicates and disables
+// duplicate handling entirely.
+package intervaljoin
+
+import (
+	"fmt"
+
+	"fudj/internal/core"
+	"fudj/internal/interval"
+	"fudj/internal/wire"
+)
+
+// Summary carries one side's timeline extent.
+type Summary struct {
+	MinStart int64
+	MaxEnd   int64
+	Empty    bool
+}
+
+// NewSummary returns the identity summary.
+func NewSummary() Summary {
+	return Summary{MinStart: 1 << 62, MaxEnd: -(1 << 62), Empty: true}
+}
+
+// MarshalWire implements wire.Marshaler.
+func (s Summary) MarshalWire(e *wire.Encoder) {
+	e.Varint(s.MinStart)
+	e.Varint(s.MaxEnd)
+	e.Bool(s.Empty)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (s *Summary) UnmarshalWire(d *wire.Decoder) error {
+	var err error
+	if s.MinStart, err = d.Varint(); err != nil {
+		return err
+	}
+	if s.MaxEnd, err = d.Varint(); err != nil {
+		return err
+	}
+	s.Empty, err = d.Bool()
+	return err
+}
+
+// Plan is the interval PPlan: the unified timeline range and granule
+// count, from which every node rebuilds the granulator.
+type Plan struct {
+	MinStart int64
+	MaxEnd   int64
+	N        int
+}
+
+// MarshalWire implements wire.Marshaler.
+func (p Plan) MarshalWire(e *wire.Encoder) {
+	e.Varint(p.MinStart)
+	e.Varint(p.MaxEnd)
+	e.Varint(int64(p.N))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *Plan) UnmarshalWire(d *wire.Decoder) error {
+	var err error
+	if p.MinStart, err = d.Varint(); err != nil {
+		return err
+	}
+	if p.MaxEnd, err = d.Varint(); err != nil {
+		return err
+	}
+	n, err := d.Varint()
+	if err != nil {
+		return err
+	}
+	p.N = int(n)
+	return nil
+}
+
+// Granulator rebuilds the granule mapper described by the plan.
+func (p Plan) Granulator() interval.Granulator {
+	return interval.NewGranulator(p.MinStart, p.MaxEnd, p.N)
+}
+
+// New returns the overlapping-interval FUDJ.
+func New() core.Join {
+	return core.Wrap(core.Spec[interval.Interval, interval.Interval, Summary, Plan]{
+		Name:   "interval_overlap",
+		Params: 1, // number of granules
+		Dedup:  core.DedupNone,
+
+		// SUMMARIZE: min start, max end.
+		NewSummary: NewSummary,
+		LocalAggLeft: func(iv interval.Interval, s Summary) Summary {
+			if iv.Start < s.MinStart {
+				s.MinStart = iv.Start
+			}
+			if iv.End > s.MaxEnd {
+				s.MaxEnd = iv.End
+			}
+			s.Empty = false
+			return s
+		},
+		GlobalAgg: func(a, b Summary) Summary {
+			if b.MinStart < a.MinStart {
+				a.MinStart = b.MinStart
+			}
+			if b.MaxEnd > a.MaxEnd {
+				a.MaxEnd = b.MaxEnd
+			}
+			a.Empty = a.Empty && b.Empty
+			return a
+		},
+
+		// DIVIDE: unify timelines and cut into n granules.
+		Divide: func(l, r Summary, params []any) (Plan, error) {
+			n, ok := params[0].(int64)
+			if !ok || n < 1 || int(n) > interval.MaxGranules {
+				return Plan{}, fmt.Errorf("intervaljoin: granule count must be an integer in [1, %d], got %v",
+					interval.MaxGranules, params[0])
+			}
+			min, max := l.MinStart, l.MaxEnd
+			if r.MinStart < min {
+				min = r.MinStart
+			}
+			if r.MaxEnd > max {
+				max = r.MaxEnd
+			}
+			if l.Empty && r.Empty {
+				min, max = 0, 0
+			}
+			return Plan{MinStart: min, MaxEnd: max, N: int(n)}, nil
+		},
+
+		// ASSIGN: single smallest covering bucket.
+		AssignLeft: func(iv interval.Interval, p Plan, dst []core.BucketID) []core.BucketID {
+			return append(dst, p.Granulator().Bucket(iv))
+		},
+
+		// MATCH: granule-range overlap — a theta condition (multi-join).
+		Match: interval.BucketsOverlap,
+
+		// VERIFY: exact interval overlap.
+		Verify: func(_ core.BucketID, l interval.Interval, _ core.BucketID, r interval.Interval, _ Plan) bool {
+			return l.Overlaps(r)
+		},
+	})
+}

@@ -1,0 +1,175 @@
+package intervaljoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"fudj/internal/core"
+	"fudj/internal/interval"
+)
+
+func randIntervals(rng *rand.Rand, n int, span, maxLen int64) []interval.Interval {
+	out := make([]interval.Interval, n)
+	for i := range out {
+		s := rng.Int63n(span)
+		out[i] = interval.Interval{Start: s, End: s + rng.Int63n(maxLen)}
+	}
+	return out
+}
+
+func brute(left, right []interval.Interval) map[[4]int64]int {
+	out := map[[4]int64]int{}
+	for _, l := range left {
+		for _, r := range right {
+			if l.Overlaps(r) {
+				out[[4]int64{l.Start, l.End, r.Start, r.End}]++
+			}
+		}
+	}
+	return out
+}
+
+func run(t *testing.T, left, right []interval.Interval, n int64) (map[[4]int64]int, core.Stats) {
+	t.Helper()
+	la := make([]any, len(left))
+	for i, v := range left {
+		la[i] = v
+	}
+	ra := make([]any, len(right))
+	for i, v := range right {
+		ra[i] = v
+	}
+	got := map[[4]int64]int{}
+	stats, err := core.RunStandalone(New(), la, ra, []any{n}, func(l, r any) {
+		lv, rv := l.(interval.Interval), r.(interval.Interval)
+		got[[4]int64{lv.Start, lv.End, rv.Start, rv.End}]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		left := randIntervals(rng, 100, 5000, 300)
+		right := randIntervals(rng, 80, 5000, 300)
+		want := brute(left, right)
+		for _, n := range []int64{1, 10, 100} {
+			got, _ := run(t, left, right, n)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d trial %d: %d distinct pairs, want %d", n, trial, len(got), len(want))
+			}
+			for k, c := range want {
+				if got[k] != c {
+					t.Fatalf("n=%d trial %d: pair %v count %d, want %d", n, trial, k, got[k], c)
+				}
+			}
+		}
+	}
+}
+
+// Single-assign means zero duplicates even with dedup disabled: the
+// total emitted must equal the verified count with no suppression.
+func TestSingleAssignNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	left := randIntervals(rng, 100, 2000, 200)
+	right := randIntervals(rng, 100, 2000, 200)
+	_, stats := run(t, left, right, 50)
+	if stats.Deduped != 0 {
+		t.Errorf("single-assign join deduped %d pairs", stats.Deduped)
+	}
+	if stats.Results != stats.Verified {
+		t.Errorf("results %d != verified %d", stats.Results, stats.Verified)
+	}
+	if stats.LeftBuckets == 0 {
+		t.Error("no buckets formed")
+	}
+}
+
+func TestGranulesPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	left := randIntervals(rng, 150, 10000, 100)
+	right := randIntervals(rng, 150, 10000, 100)
+	_, coarse := run(t, left, right, 1)
+	_, fine := run(t, left, right, 200)
+	if fine.Candidates >= coarse.Candidates {
+		t.Errorf("more granules should prune candidates: %d vs %d", fine.Candidates, coarse.Candidates)
+	}
+}
+
+func TestTheta(t *testing.T) {
+	d := New().Descriptor()
+	if d.DefaultMatch {
+		t.Error("interval join overrides Match; it must be a multi-join")
+	}
+	if !d.SymmetricSummarize {
+		t.Error("interval join summarizes both sides identically")
+	}
+	if d.Dedup != core.DedupNone {
+		t.Error("single-assign join should disable dedup")
+	}
+}
+
+func TestBadGranuleCount(t *testing.T) {
+	ivs := []any{interval.Interval{Start: 0, End: 1}}
+	for _, bad := range []any{int64(0), int64(interval.MaxGranules + 1), 3.5, "x"} {
+		if _, err := core.RunStandalone(New(), ivs, ivs, []any{bad}, func(any, any) {}); err == nil {
+			t.Errorf("granule count %v should be rejected", bad)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	got, stats := run(t, nil, nil, 10)
+	if len(got) != 0 || stats.Results != 0 {
+		t.Errorf("empty join produced %v", got)
+	}
+	// One empty side.
+	got, _ = run(t, randIntervals(rand.New(rand.NewSource(1)), 5, 100, 10), nil, 10)
+	if len(got) != 0 {
+		t.Errorf("half-empty join produced %v", got)
+	}
+}
+
+func TestStateWireFastPath(t *testing.T) {
+	j := New()
+	s := Summary{MinStart: -5, MaxEnd: 100, Empty: false}
+	buf, err := j.EncodeSummary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.DecodeSummary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Summary) != s {
+		t.Errorf("summary round trip = %+v", got)
+	}
+	p := Plan{MinStart: 0, MaxEnd: 999, N: 64}
+	pbuf, err := j.EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := j.DecodePlan(pbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.(Plan) != p {
+		t.Errorf("plan round trip = %+v", gp)
+	}
+	if gp.(Plan).Granulator().Width() != p.Granulator().Width() {
+		t.Error("granulator rebuild mismatch")
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	lib := Library()
+	if lib.Name() != "intervaljoins" {
+		t.Error("library name")
+	}
+	if _, err := lib.Resolve("oip.IntervalJoin"); err != nil {
+		t.Error(err)
+	}
+}

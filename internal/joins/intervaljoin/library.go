@@ -1,0 +1,14 @@
+package intervaljoin
+
+import (
+	"fudj/internal/core"
+)
+
+// Library packages the interval join as the installable library
+// "intervaljoins".
+func Library() *core.Library {
+	lib := core.NewLibrary("intervaljoins")
+	lib.MustRegister("oip.IntervalJoin", New)
+	lib.MustRegister("oip.IntervalJoinAuto", NewAuto)
+	return lib
+}

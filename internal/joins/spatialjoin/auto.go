@@ -1,0 +1,134 @@
+package spatialjoin
+
+import (
+	"fmt"
+	"math"
+
+	"fudj/internal/core"
+	"fudj/internal/geo"
+	"fudj/internal/wire"
+)
+
+// Automatic grid sizing — the paper's §VIII future-work item
+// ("automate the process of finding the optimum number of buckets by
+// gathering more dataset statistics during the SUMMARIZE phase").
+// The auto variant's summary carries the record count and the total
+// MBR area alongside the plain MBR; DIVIDE sizes the grid so that the
+// expected number of records per tile stays near a constant, which is
+// where the Fig. 11a cost curve bottoms out.
+
+// AutoSummary is the enriched SUMMARIZE state of the auto variant.
+type AutoSummary struct {
+	MBR   geo.Rect
+	Count int64
+	Area  float64 // summed MBR area, a proxy for replication pressure
+}
+
+// NewAutoSummary returns the identity summary.
+func NewAutoSummary() AutoSummary { return AutoSummary{MBR: geo.EmptyRect()} }
+
+// MarshalWire implements wire.Marshaler.
+func (s AutoSummary) MarshalWire(e *wire.Encoder) {
+	s.MBR.MarshalWire(e)
+	e.Varint(s.Count)
+	e.Float64(s.Area)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (s *AutoSummary) UnmarshalWire(d *wire.Decoder) error {
+	if err := s.MBR.UnmarshalWire(d); err != nil {
+		return err
+	}
+	var err error
+	if s.Count, err = d.Varint(); err != nil {
+		return err
+	}
+	s.Area, err = d.Float64()
+	return err
+}
+
+// targetPerTile is the records-per-tile constant the auto grid aims
+// for; chosen from the Fig. 11a sweep's flat region.
+const targetPerTile = 32
+
+// autoGridSize derives the grid side from the gathered statistics:
+// n = sqrt(totalRecords / targetPerTile), clamped to [1, 1024], then
+// shrunk while the average geometry MBR is large relative to a tile
+// (over-fine grids explode replication for big geometries).
+func autoGridSize(l, r AutoSummary, space geo.Rect) int {
+	total := l.Count + r.Count
+	if total == 0 {
+		return 1
+	}
+	n := int(math.Sqrt(float64(total) / targetPerTile))
+	if n < 1 {
+		n = 1
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	// Replication guard: keep the tile at least as large as the average
+	// geometry extent, so each geometry overlaps O(1) tiles.
+	avgArea := (l.Area + r.Area) / float64(total)
+	if avgArea > 0 && space.Area() > 0 {
+		avgSide := math.Sqrt(avgArea)
+		maxN := int(math.Sqrt(space.Area()) / avgSide)
+		if maxN < 1 {
+			maxN = 1
+		}
+		if n > maxN {
+			n = maxN
+		}
+	}
+	return n
+}
+
+// NewAuto returns the spatial FUDJ with automatic grid sizing: pass 0
+// as the grid-size parameter and DIVIDE derives it from the summary
+// statistics; a positive parameter keeps the manual behaviour.
+func NewAuto() core.Join {
+	return core.Wrap(core.Spec[geo.Geometry, geo.Geometry, AutoSummary, Plan]{
+		Name:   "spatial_pbsm_auto",
+		Params: 1,
+		Dedup:  core.DedupAvoidance,
+
+		NewSummary: NewAutoSummary,
+		LocalAggLeft: func(g geo.Geometry, s AutoSummary) AutoSummary {
+			b := g.Bounds()
+			s.MBR = s.MBR.Union(b)
+			s.Count++
+			s.Area += b.Area()
+			return s
+		},
+		GlobalAgg: func(a, b AutoSummary) AutoSummary {
+			a.MBR = a.MBR.Union(b.MBR)
+			a.Count += b.Count
+			a.Area += b.Area
+			return a
+		},
+		Divide: func(l, r AutoSummary, params []any) (Plan, error) {
+			n, ok := params[0].(int64)
+			if !ok || n < 0 || n > 1<<14 {
+				return Plan{}, fmt.Errorf("spatialjoin: grid size must be an integer in [0, 16384] (0 = auto), got %v", params[0])
+			}
+			space := l.MBR.Intersect(r.MBR)
+			if space.IsEmpty() {
+				space = l.MBR.Union(r.MBR)
+			}
+			if space.IsEmpty() {
+				space = geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+			}
+			size := int(n)
+			if size == 0 {
+				size = autoGridSize(l, r, space)
+			}
+			return Plan{Space: space, N: size}, nil
+		},
+		AssignLeft: func(g geo.Geometry, p Plan, dst []core.BucketID) []core.BucketID {
+			return p.Grid().OverlappingTiles(g.Bounds(), dst)
+		},
+		Verify: func(_ core.BucketID, l geo.Geometry, _ core.BucketID, r geo.Geometry, _ Plan) bool {
+			return geo.Intersects(l, r)
+		},
+	})
+}

@@ -1,0 +1,75 @@
+package spatialjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"fudj/internal/core"
+	"fudj/internal/geo"
+)
+
+func TestAutoMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	left := randomGeoms(rng, 150, 80)
+	right := randomGeoms(rng, 120, 80)
+	want := brute(left, right)
+
+	// Param 0 = auto-derived grid; positive param = manual.
+	for _, n := range []int64{0, 8} {
+		got := map[pairKey]int{}
+		_, err := core.RunStandalone(NewAuto(), asAny(left), asAny(right), []any{n}, func(l, r any) {
+			got[key(l.(geo.Geometry), r.(geo.Geometry))]++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePairMaps(t, "auto", got, want)
+	}
+}
+
+func TestAutoGridSizeHeuristics(t *testing.T) {
+	space := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	// Empty input: one tile.
+	if n := autoGridSize(NewAutoSummary(), NewAutoSummary(), space); n != 1 {
+		t.Errorf("empty auto grid = %d, want 1", n)
+	}
+	// Many tiny points: grid grows with sqrt(count/target).
+	many := AutoSummary{MBR: space, Count: 32 * 10000, Area: 0}
+	if n := autoGridSize(many, NewAutoSummary(), space); n != 100 {
+		t.Errorf("dense auto grid = %d, want 100", n)
+	}
+	// Huge geometries cap the grid so replication stays bounded.
+	big := AutoSummary{MBR: space, Count: 32 * 10000, Area: 32 * 10000 * 2500} // avg side 50
+	if n := autoGridSize(big, NewAutoSummary(), space); n > 2 {
+		t.Errorf("big-geometry auto grid = %d, want <= 2", n)
+	}
+	// Clamp at 1024.
+	huge := AutoSummary{MBR: space, Count: 1 << 40}
+	if n := autoGridSize(huge, NewAutoSummary(), space); n != 1024 {
+		t.Errorf("clamped auto grid = %d, want 1024", n)
+	}
+}
+
+func TestAutoRejectsNegativeParam(t *testing.T) {
+	_, err := core.RunStandalone(NewAuto(), []any{geo.Geometry(geo.Point{X: 1, Y: 1})},
+		[]any{geo.Geometry(geo.Point{X: 1, Y: 1})}, []any{int64(-1)}, func(any, any) {})
+	if err == nil {
+		t.Error("negative grid size should be rejected")
+	}
+}
+
+func TestAutoSummaryWireRoundTrip(t *testing.T) {
+	j := NewAuto()
+	s := AutoSummary{MBR: geo.Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4}, Count: 9, Area: 2.5}
+	buf, err := j.EncodeSummary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.DecodeSummary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(AutoSummary) != s {
+		t.Errorf("round trip = %+v", got)
+	}
+}

@@ -1,0 +1,217 @@
+package spatialjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"fudj/internal/core"
+	"fudj/internal/geo"
+)
+
+// randomGeoms builds a mix of points and small polygons.
+func randomGeoms(rng *rand.Rand, n int, span float64) []geo.Geometry {
+	out := make([]geo.Geometry, n)
+	for i := range out {
+		x, y := rng.Float64()*span, rng.Float64()*span
+		if i%2 == 0 {
+			out[i] = geo.Point{X: x, Y: y}
+		} else {
+			w, h := rng.Float64()*4+0.1, rng.Float64()*4+0.1
+			out[i] = geo.NewPolygon([]geo.Point{
+				{X: x, Y: y}, {X: x + w, Y: y}, {X: x + w, Y: y + h}, {X: x, Y: y + h},
+			})
+		}
+	}
+	return out
+}
+
+func asAny(gs []geo.Geometry) []any {
+	out := make([]any, len(gs))
+	for i, g := range gs {
+		out[i] = g
+	}
+	return out
+}
+
+type pairKey [8]float64
+
+func key(l, r geo.Geometry) pairKey {
+	lb, rb := l.Bounds(), r.Bounds()
+	return pairKey{lb.MinX, lb.MinY, lb.MaxX, lb.MaxY, rb.MinX, rb.MinY, rb.MaxX, rb.MaxY}
+}
+
+func brute(left, right []geo.Geometry) map[pairKey]int {
+	out := map[pairKey]int{}
+	for _, l := range left {
+		for _, r := range right {
+			if geo.Intersects(l, r) {
+				out[key(l, r)]++
+			}
+		}
+	}
+	return out
+}
+
+func run(t *testing.T, j core.Join, left, right []geo.Geometry, n int64) (map[pairKey]int, core.Stats) {
+	t.Helper()
+	got := map[pairKey]int{}
+	stats, err := core.RunStandalone(j, asAny(left), asAny(right), []any{n}, func(l, r any) {
+		got[key(l.(geo.Geometry), r.(geo.Geometry))]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+func comparePairMaps(t *testing.T, name string, got, want map[pairKey]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d distinct pairs, want %d", name, len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("%s: pair count %d, want %d", name, got[k], n)
+		}
+	}
+}
+
+// All duplicate-handling variants must reproduce exactly the
+// brute-force result multiset.
+func TestVariantsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	variants := map[string]func() core.Join{
+		"avoidance":   New,
+		"refpoint":    NewReferencePoint,
+		"elimination": NewElimination,
+		"planesweep":  NewPlaneSweep,
+		"theta":       NewEqualityTheta,
+	}
+	for trial := 0; trial < 5; trial++ {
+		left := randomGeoms(rng, 120, 60)
+		right := randomGeoms(rng, 90, 60)
+		want := brute(left, right)
+		for name, mk := range variants {
+			for _, n := range []int64{1, 4, 16} {
+				got, _ := run(t, mk(), left, right, n)
+				comparePairMaps(t, name, got, want)
+			}
+		}
+	}
+}
+
+func TestNoDedupOverproduces(t *testing.T) {
+	// A big polygon overlapping many tiles joined with itself must
+	// produce duplicate pairs when dedup is off.
+	big := geo.NewPolygon([]geo.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 50, Y: 50}, {X: 0, Y: 50}})
+	small := geo.Point{X: 25, Y: 25}
+	left := []geo.Geometry{big}
+	right := []geo.Geometry{big, small}
+
+	got, _ := run(t, NewNoDedup(), left, right, 8)
+	if got[key(big, big)] <= 1 {
+		t.Errorf("expected duplicated big-big pair, got %d", got[key(big, big)])
+	}
+	gotAvoid, stats := run(t, New(), left, right, 8)
+	if gotAvoid[key(big, big)] != 1 || gotAvoid[key(big, small)] != 1 {
+		t.Errorf("avoidance result wrong: %v", gotAvoid)
+	}
+	if stats.Deduped == 0 {
+		t.Error("avoidance should suppress duplicates")
+	}
+}
+
+func TestGridPruningReducesCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	left := randomGeoms(rng, 200, 100)
+	right := randomGeoms(rng, 200, 100)
+	_, coarse := run(t, New(), left, right, 1) // one tile: all pairs are candidates
+	_, fine := run(t, New(), left, right, 20)  // fine grid prunes
+	if fine.Candidates >= coarse.Candidates {
+		t.Errorf("finer grid should reduce candidates: %d vs %d", fine.Candidates, coarse.Candidates)
+	}
+	if coarse.Candidates != 200*200 {
+		t.Errorf("1-tile grid candidates = %d, want all 40000", coarse.Candidates)
+	}
+}
+
+func TestDivideBadParam(t *testing.T) {
+	j := New()
+	left := asAny(randomGeoms(rand.New(rand.NewSource(1)), 3, 10))
+	for _, bad := range []any{0, int64(0), int64(1 << 20), "x", 3.5} {
+		if _, err := core.RunStandalone(j, left, left, []any{bad}, func(any, any) {}); err == nil {
+			t.Errorf("grid size %v should be rejected", bad)
+		}
+	}
+}
+
+func TestDivideDisjointSidesFallsBackToUnion(t *testing.T) {
+	// Two spatially disjoint datasets: no result, but no crash either.
+	left := []geo.Geometry{geo.Point{X: 0, Y: 0}}
+	right := []geo.Geometry{geo.Point{X: 100, Y: 100}}
+	got, _ := run(t, New(), left, right, 4)
+	if len(got) != 0 {
+		t.Errorf("disjoint datasets should produce nothing, got %v", got)
+	}
+}
+
+func TestDescriptor(t *testing.T) {
+	d := New().Descriptor()
+	if !d.DefaultMatch {
+		t.Error("spatial join uses default match")
+	}
+	if !d.SymmetricSummarize {
+		t.Error("spatial join summarizes both sides identically")
+	}
+	if d.Params != 1 {
+		t.Error("spatial join takes one parameter")
+	}
+	if NewReferencePoint().Descriptor().Dedup != core.DedupCustom {
+		t.Error("refpoint variant should use custom dedup")
+	}
+}
+
+func TestPlanWireRoundTrip(t *testing.T) {
+	j := New()
+	plan := Plan{Space: geo.Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4}, N: 7}
+	buf, err := j.EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.DecodePlan(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Plan) != plan {
+		t.Errorf("plan round trip = %+v", got)
+	}
+	// Summaries are geo.Rect and should use the wire fast path.
+	sbuf, err := j.EncodeSummary(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := j.DecodeSummary(sbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(geo.Rect) != (geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}) {
+		t.Errorf("summary round trip = %v", s)
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	lib := Library()
+	if lib.Name() != "spatialjoins" {
+		t.Error("library name")
+	}
+	if len(lib.Classes()) != 7 {
+		t.Errorf("classes = %v", lib.Classes())
+	}
+	ctor, err := lib.Resolve("pbsm.SpatialJoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctor().Descriptor().Name != "spatial_pbsm" {
+		t.Error("resolved constructor")
+	}
+}

@@ -1,0 +1,83 @@
+package spatialjoin
+
+import (
+	"fudj/internal/core"
+	"fudj/internal/geo"
+)
+
+// NewReferencePoint returns the variant using the PBSM Reference Point
+// duplicate-avoidance method (§VII-E): a pair is reported only from the
+// tile containing the reference corner of the pair's MBR intersection.
+func NewReferencePoint() core.Join {
+	s := spec("spatial_pbsm_refpoint", core.DedupCustom)
+	s.DedupFn = func(b1 core.BucketID, l geo.Geometry, b2 core.BucketID, r geo.Geometry, p Plan) bool {
+		if b1 != b2 {
+			return true // cannot happen under default match; keep defensively
+		}
+		inter := l.Bounds().Intersect(r.Bounds())
+		return p.Grid().ReferencePointTile(inter) == b1
+	}
+	return core.Wrap(s)
+}
+
+// NewElimination returns the variant that lets duplicates flow and
+// removes them with a post-join distinct stage, for the duplicate
+// handling comparison.
+func NewElimination() core.Join { return core.Wrap(spec("spatial_pbsm_elim", core.DedupElimination)) }
+
+// NewNoDedup returns the raw multi-assign join with duplicate handling
+// disabled; useful to measure the duplication factor itself.
+func NewNoDedup() core.Join { return core.Wrap(spec("spatial_pbsm_nodedup", core.DedupNone)) }
+
+// NewEqualityTheta returns a variant that is semantically identical to
+// New but declares its (equality) match function explicitly instead of
+// using the framework default. The optimizer can no longer prove the
+// join is a single-join, so it falls back to the theta (broadcast +
+// bucket matching) operator. This variant exists purely for the
+// match-operator ablation benchmark: it quantifies what the hash-join
+// selection optimization of §VI-C is worth.
+func NewEqualityTheta() core.Join {
+	s := spec("spatial_pbsm_theta", core.DedupAvoidance)
+	s.Match = func(b1, b2 core.BucketID) bool { return b1 == b2 }
+	return core.Wrap(s)
+}
+
+// NewPlaneSweep returns the spatial FUDJ with a custom plane-sweep
+// local join inside each tile — the local join optimization the paper
+// proposes as future work (§VII-F/§VIII), expressed through the
+// framework's LocalJoin hook instead of a hand-built operator. The
+// sweep generates candidate pairs by MBR along the x-axis and then
+// applies the exact intersection test, so its output equals Verify's.
+func NewPlaneSweep() core.Join {
+	s := spec("spatial_pbsm_sweep", core.DedupAvoidance)
+	s.LocalJoin = func(_ core.BucketID, left []geo.Geometry, _ core.BucketID, right []geo.Geometry, _ Plan, emit func(i, j int)) {
+		lItems := make([]geo.SweepItem, len(left))
+		for i, g := range left {
+			lItems[i] = geo.SweepItem{MBR: g.Bounds(), Ref: i}
+		}
+		rItems := make([]geo.SweepItem, len(right))
+		for i, g := range right {
+			rItems[i] = geo.SweepItem{MBR: g.Bounds(), Ref: i}
+		}
+		geo.PlaneSweepJoin(lItems, rItems, func(i, j int) {
+			if geo.Intersects(left[i], right[j]) {
+				emit(i, j)
+			}
+		})
+	}
+	return core.Wrap(s)
+}
+
+// Library packages all spatial variants as an installable FUDJ library
+// named "spatialjoins" (the paper's JAR analogue).
+func Library() *core.Library {
+	lib := core.NewLibrary("spatialjoins")
+	lib.MustRegister("pbsm.SpatialJoin", New)
+	lib.MustRegister("pbsm.SpatialJoinReferencePoint", NewReferencePoint)
+	lib.MustRegister("pbsm.SpatialJoinElimination", NewElimination)
+	lib.MustRegister("pbsm.SpatialJoinNoDedup", NewNoDedup)
+	lib.MustRegister("pbsm.SpatialJoinTheta", NewEqualityTheta)
+	lib.MustRegister("pbsm.SpatialJoinPlaneSweep", NewPlaneSweep)
+	lib.MustRegister("pbsm.SpatialJoinAuto", NewAuto)
+	return lib
+}

@@ -1,0 +1,91 @@
+// Package textsim implements the Text Similarity FUDJ of §V-B, a
+// prefix-filtering set-similarity join in the style of Vernica et al.:
+// SUMMARIZE counts token occurrences per side, DIVIDE merges the counts
+// and ranks tokens rarest-first, ASSIGN multi-assigns each record to
+// the ranks of its prefix tokens (prefix length derived from the
+// similarity threshold), MATCH is default equality (hash-join path),
+// and VERIFY computes the exact Jaccard similarity.
+package textsim
+
+import (
+	"fmt"
+
+	"fudj/internal/core"
+	"fudj/internal/text"
+)
+
+// Summary maps token → occurrence count for one side.
+type Summary map[string]int64
+
+// Plan is the text-similarity PPlan: the global token ranks plus the
+// similarity threshold (the algorithm needs the threshold in every
+// stage, so it rides inside the plan exactly as §VI-A describes).
+type Plan struct {
+	Ranks     map[string]int
+	NextRank  int
+	Threshold float64
+}
+
+func (p Plan) rankTable() *text.RankTable {
+	return &text.RankTable{Ranks: p.Ranks, Next: p.NextRank}
+}
+
+func spec(name string, dedup core.DedupMode) core.Spec[string, string, Summary, Plan] {
+	return core.Spec[string, string, Summary, Plan]{
+		Name:   name,
+		Params: 1, // similarity threshold
+		Dedup:  dedup,
+
+		// SUMMARIZE: token counting.
+		NewSummary: func() Summary { return make(Summary) },
+		LocalAggLeft: func(txt string, s Summary) Summary {
+			for _, tok := range text.Tokenize(txt) {
+				s[tok]++
+			}
+			return s
+		},
+		GlobalAgg: func(a, b Summary) Summary {
+			for tok, n := range b {
+				a[tok] += n
+			}
+			return a
+		},
+
+		// DIVIDE: merge both sides' counts and rank ascending by count.
+		Divide: func(l, r Summary, params []any) (Plan, error) {
+			threshold, ok := params[0].(float64)
+			if !ok || threshold <= 0 || threshold > 1 {
+				return Plan{}, fmt.Errorf("textsim: threshold must be a float in (0, 1], got %v", params[0])
+			}
+			merged := make(map[string]int64, len(l)+len(r))
+			for tok, n := range l {
+				merged[tok] += n
+			}
+			for tok, n := range r {
+				merged[tok] += n
+			}
+			rt := text.BuildRankTable(merged)
+			return Plan{Ranks: rt.Ranks, NextRank: rt.Size(), Threshold: threshold}, nil
+		},
+
+		// ASSIGN: prefix ranks (multi-assign; rarest tokens first).
+		AssignLeft: func(txt string, p Plan, dst []core.BucketID) []core.BucketID {
+			for _, rank := range p.rankTable().PrefixRanks(text.Tokenize(txt), p.Threshold) {
+				dst = append(dst, rank)
+			}
+			return dst
+		},
+
+		// MATCH: nil → default equality.
+
+		// VERIFY: exact Jaccard against the threshold.
+		Verify: func(_ core.BucketID, l string, _ core.BucketID, r string, p Plan) bool {
+			return text.Jaccard(text.Tokenize(l), text.Tokenize(r)) >= p.Threshold
+		},
+	}
+}
+
+// New returns the text-similarity FUDJ with the framework's default
+// duplicate avoidance (the Fig. 12a winner and the configuration used
+// in Fig. 9/10 — note the original paper [48] used elimination).
+func New() core.Join { return core.Wrap(spec("text_similarity", core.DedupAvoidance)) }

@@ -1,0 +1,21 @@
+package textsim
+
+import (
+	"fudj/internal/core"
+)
+
+// NewElimination returns the duplicate-elimination variant matching
+// the original algorithm's post-join dedup, for the Fig. 12a
+// comparison.
+func NewElimination() core.Join {
+	return core.Wrap(spec("text_similarity_elim", core.DedupElimination))
+}
+
+// Library packages the text-similarity variants as the installable
+// library "flexiblejoins", matching the paper's Query 4 example.
+func Library() *core.Library {
+	lib := core.NewLibrary("flexiblejoins")
+	lib.MustRegister("setsimilarity.SetSimilarityJoin", New)
+	lib.MustRegister("setsimilarity.SetSimilarityJoinElimination", NewElimination)
+	return lib
+}

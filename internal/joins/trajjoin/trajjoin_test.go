@@ -1,0 +1,156 @@
+package trajjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"fudj/internal/core"
+	"fudj/internal/geo"
+)
+
+// randTrajectories builds random-walk polylines.
+func randTrajectories(rng *rand.Rand, n int, span float64) []*geo.LineString {
+	out := make([]*geo.LineString, n)
+	for i := range out {
+		steps := 3 + rng.Intn(6)
+		pts := make([]geo.Point, steps)
+		pts[0] = geo.Point{X: rng.Float64() * span, Y: rng.Float64() * span}
+		for s := 1; s < steps; s++ {
+			pts[s] = geo.Point{
+				X: pts[s-1].X + (rng.Float64()-0.5)*8,
+				Y: pts[s-1].Y + (rng.Float64()-0.5)*8,
+			}
+		}
+		out[i] = geo.NewLineString(pts)
+	}
+	return out
+}
+
+func brute(left, right []*geo.LineString, d float64) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for i, l := range left {
+		for j, r := range right {
+			if l.WithinDistance(r, d) {
+				out[[2]int{i, j}] = true
+			}
+		}
+	}
+	return out
+}
+
+func run(t *testing.T, left, right []*geo.LineString, n int64, d float64) (map[[2]int]int, core.Stats) {
+	t.Helper()
+	// Use identity by index: wrap each linestring so emit can recover it.
+	idx := map[*geo.LineString]int{}
+	la := make([]any, len(left))
+	for i, ls := range left {
+		la[i] = ls
+		idx[ls] = i
+	}
+	ridx := map[*geo.LineString]int{}
+	ra := make([]any, len(right))
+	for i, ls := range right {
+		ra[i] = ls
+		ridx[ls] = i
+	}
+	got := map[[2]int]int{}
+	stats, err := core.RunStandalone(New(), la, ra, []any{n, d}, func(l, r any) {
+		got[[2]int{idx[l.(*geo.LineString)], ridx[r.(*geo.LineString)]}]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 4; trial++ {
+		left := randTrajectories(rng, 80, 100)
+		right := randTrajectories(rng, 60, 100)
+		for _, d := range []float64{0, 2, 10} {
+			want := brute(left, right, d)
+			for _, n := range []int64{1, 8, 32} {
+				got, _ := run(t, left, right, n, d)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d n=%d d=%v: %d pairs, want %d", trial, n, d, len(got), len(want))
+				}
+				for k, c := range got {
+					if !want[k] {
+						t.Fatalf("trial %d: spurious pair %v", trial, k)
+					}
+					if c != 1 {
+						t.Fatalf("trial %d: pair %v emitted %d times (dedup broken)", trial, k, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExpansionOnOneSideOnly(t *testing.T) {
+	// Two trajectories 3 apart; with d=5 they join even though their
+	// MBRs never overlap — the left-side expansion is what finds them.
+	a := geo.NewLineString([]geo.Point{{X: 0, Y: 0}, {X: 0, Y: 10}})
+	b := geo.NewLineString([]geo.Point{{X: 3, Y: 0}, {X: 3, Y: 10}})
+	got, stats := run(t, []*geo.LineString{a}, []*geo.LineString{b}, 16, 5)
+	if len(got) != 1 {
+		t.Fatalf("pairs = %v (stats %v)", got, stats)
+	}
+	// With d=2 they must not join.
+	got, _ = run(t, []*geo.LineString{a}, []*geo.LineString{b}, 16, 2)
+	if len(got) != 0 {
+		t.Fatalf("d=2 pairs = %v", got)
+	}
+}
+
+func TestDescriptor(t *testing.T) {
+	desc := New().Descriptor()
+	if !desc.DefaultMatch {
+		t.Error("trajectory join uses default match")
+	}
+	if desc.SymmetricSummarize {
+		t.Error("asymmetric assign declares side-specific functions")
+	}
+	if desc.Params != 2 || desc.Dedup != core.DedupAvoidance {
+		t.Errorf("descriptor = %+v", desc)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	ls := geo.NewLineString([]geo.Point{{X: 0, Y: 0}, {X: 1, Y: 1}})
+	data := []any{ls}
+	for _, params := range [][]any{
+		{int64(0), 1.0},
+		{int64(1 << 20), 1.0},
+		{"x", 1.0},
+		{int64(4), -1.0},
+		{int64(4), "near"},
+	} {
+		if _, err := core.RunStandalone(New(), data, data, params, func(any, any) {}); err == nil {
+			t.Errorf("params %v should be rejected", params)
+		}
+	}
+}
+
+func TestStateWireRoundTrip(t *testing.T) {
+	j := New()
+	p := Plan{Space: geo.Rect{MinX: 0, MinY: 0, MaxX: 9, MaxY: 9}, N: 4, D: 2.5}
+	buf, err := j.EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.DecodePlan(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Plan) != p {
+		t.Errorf("plan round trip = %+v", got)
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	if _, err := Library().Resolve("traj.ClosenessJoin"); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package shell implements the interactive SQL shell behind
+// cmd/fudjsh: statement splitting, the read-eval-print loop, result
+// rendering, and the demo environment setup.
+package shell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"fudj"
+	"fudj/internal/storage"
+)
+
+// Config controls the demo environment the shell opens with.
+type Config struct {
+	Nodes    int
+	Cores    int
+	Records  int  // per demo dataset
+	LoadDemo bool // load datasets + create the three joins
+}
+
+// DefaultConfig returns the interactive defaults.
+func DefaultConfig() Config {
+	return Config{Nodes: 4, Cores: 2, Records: 2000, LoadDemo: true}
+}
+
+// Setup opens a database per the config: libraries installed, demo
+// datasets loaded, joins created, and built-in operators registered.
+func Setup(cfg Config) (*fudj.DB, error) {
+	db, err := fudj.Open(fudj.OptionsFor(cfg.Nodes, cfg.Cores))
+	if err != nil {
+		return nil, err
+	}
+	for _, lib := range []*fudj.Library{
+		fudj.SpatialLibrary(), fudj.TextSimilarityLibrary(), fudj.IntervalLibrary(),
+	} {
+		if err := db.InstallLibrary(lib); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.LoadDemo {
+		return db, nil
+	}
+	for name, ds := range map[string]*fudj.GeneratedDataset{
+		"parks":        fudj.GenParks(1, cfg.Records),
+		"wildfires":    fudj.GenWildfires(2, 2*cfg.Records),
+		"nyctaxi":      fudj.GenNYCTaxi(3, 2*cfg.Records),
+		"amazonreview": fudj.GenAmazonReview(4, 2*cfg.Records),
+	} {
+		if err := fudj.LoadGenerated(db, name, ds); err != nil {
+			return nil, err
+		}
+	}
+	ddl := []string{
+		`CREATE JOIN spatial_join(a: geometry, b: geometry, n: int) RETURNS boolean AS "pbsm.SpatialJoin" AT spatialjoins`,
+		`CREATE JOIN text_similarity_join(a: string, b: string, t: double) RETURNS boolean AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins`,
+		`CREATE JOIN overlapping_interval(a: interval, b: interval, n: int) RETURNS boolean AS "oip.IntervalJoin" AT intervaljoins`,
+	}
+	for _, stmt := range ddl {
+		if _, err := db.Execute(stmt); err != nil {
+			return nil, err
+		}
+	}
+	db.RegisterBuiltinJoin("spatial_join", fudj.BuiltinSpatialPBSM)
+	db.RegisterBuiltinJoin("text_similarity_join", fudj.BuiltinTextSimilarity)
+	db.RegisterBuiltinJoin("overlapping_interval", fudj.BuiltinIntervalOIP)
+	return db, nil
+}
+
+// SplitStatements splits input on ';' outside of quoted strings.
+func SplitStatements(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote != 0:
+			cur.WriteByte(c)
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '\'' || c == '"':
+			inQuote = c
+			cur.WriteByte(c)
+		case c == ';':
+			if t := strings.TrimSpace(cur.String()); t != "" {
+				out = append(out, t)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+// MaxDisplayRows caps result rendering.
+const MaxDisplayRows = 50
+
+// PrintResult renders one query result to w.
+func PrintResult(w io.Writer, res *fudj.Result) {
+	if res.Schema != nil {
+		names := make([]string, res.Schema.Len())
+		for i, f := range res.Schema.Fields {
+			names[i] = f.Name
+		}
+		fmt.Fprintln(w, strings.Join(names, " | "))
+	}
+	for i, row := range res.Rows {
+		if i == MaxDisplayRows {
+			fmt.Fprintf(w, "... (%d more rows)\n", len(res.Rows)-MaxDisplayRows)
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		fmt.Fprintln(w, strings.Join(cells, " | "))
+	}
+	if res.Elapsed > 0 {
+		fmt.Fprintf(w, "(%d rows, %v, %d bytes shuffled, %d candidates -> %d verified)\n",
+			len(res.Rows), res.Elapsed.Round(1000), res.BytesShuffled,
+			res.Stats.Candidates, res.Stats.Verified)
+	}
+}
+
+// ExecuteAll runs each ';'-separated statement, printing results to w.
+func ExecuteAll(db *fudj.DB, w io.Writer, input string) error {
+	for _, stmt := range SplitStatements(input) {
+		res, err := db.Execute(stmt)
+		if err != nil {
+			return err
+		}
+		PrintResult(w, res)
+	}
+	return nil
+}
+
+// saveLoad handles the \save and \load backslash commands.
+func saveLoad(db *fudj.DB, cmd string) error {
+	parts := strings.Fields(cmd)
+	if len(parts) != 3 {
+		return fmt.Errorf("usage: %s <dataset> <file>", parts[0])
+	}
+	name, path := parts[1], parts[2]
+	switch parts[0] {
+	case `\save`:
+		ds, err := db.Catalog().Dataset(name)
+		if err != nil {
+			return err
+		}
+		return storage.SaveFile(path, ds.Name, ds.Schema, ds.Records)
+	case `\load`:
+		_, schema, recs, err := storage.LoadFile(path)
+		if err != nil {
+			return err
+		}
+		return db.CreateDataset(name, schema, recs)
+	}
+	return fmt.Errorf("unknown command %q", parts[0])
+}
+
+// Repl runs the interactive loop: statements end with ';', backslash
+// commands inspect the catalog, \q quits.
+func Repl(db *fudj.DB, in io.Reader, out io.Writer) {
+	fmt.Fprintln(out, "fudjsh — FUDJ engine shell. Statements end with ';'. \\q quits.")
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	for {
+		if pending.Len() == 0 {
+			fmt.Fprint(out, "fudj> ")
+		} else {
+			fmt.Fprint(out, "   -> ")
+		}
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, `\quit`, "exit", "quit":
+			return
+		case `\joins`:
+			for _, name := range db.Catalog().Joins() {
+				fmt.Fprintln(out, " ", name)
+			}
+			continue
+		case `\datasets`:
+			for _, name := range db.Catalog().Datasets() {
+				fmt.Fprintln(out, " ", name)
+			}
+			continue
+		case `\help`:
+			fmt.Fprintln(out, `  statements end with ';'
+  \datasets            list datasets
+  \joins               list installed joins
+  \save <name> <file>  save a dataset to a binary file
+  \load <name> <file>  load a dataset from a binary file
+  \q                   quit
+  EXPLAIN SELECT ... shows the optimizer plan`)
+			continue
+		}
+		if strings.HasPrefix(trimmed, `\save `) || strings.HasPrefix(trimmed, `\load `) {
+			if err := saveLoad(db, trimmed); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintln(out, "ok")
+			}
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := pending.String()
+			pending.Reset()
+			if err := ExecuteAll(db, out, stmt); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+		}
+	}
+}

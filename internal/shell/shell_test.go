@@ -1,0 +1,160 @@
+package shell
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func tinyConfig() Config {
+	return Config{Nodes: 2, Cores: 1, Records: 100, LoadDemo: true}
+}
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"  ;  ; ", nil},
+		{"SELECT 1", []string{"SELECT 1"}},
+		{"a; b ; c", []string{"a", "b", "c"}},
+		{"SELECT 'a;b'; SELECT 2", []string{"SELECT 'a;b'", "SELECT 2"}},
+		{`CREATE JOIN j(a: int, b: int) RETURNS boolean AS "x;y" AT lib; DROP JOIN j`,
+			[]string{`CREATE JOIN j(a: int, b: int) RETURNS boolean AS "x;y" AT lib`, "DROP JOIN j"}},
+	}
+	for _, c := range cases {
+		if got := SplitStatements(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitStatements(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSetupAndExecuteAll(t *testing.T) {
+	db, err := Setup(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = ExecuteAll(db, &out, `
+		SELECT COUNT(*) FROM parks p;
+		SELECT COUNT(*) FROM parks p, wildfires w WHERE spatial_join(p.boundary, w.location, 8);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "count(1)") {
+		t.Errorf("output missing header:\n%s", s)
+	}
+	if !strings.Contains(s, "100") { // parks count
+		t.Errorf("output missing parks count:\n%s", s)
+	}
+	if !strings.Contains(s, "candidates") {
+		t.Errorf("output missing stats line:\n%s", s)
+	}
+}
+
+func TestExecuteAllPropagatesErrors(t *testing.T) {
+	db, err := Setup(Config{Nodes: 1, Cores: 1, LoadDemo: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExecuteAll(db, &bytes.Buffer{}, "SELECT * FROM nothing"); err == nil {
+		t.Error("bad statement should error")
+	}
+}
+
+func TestSetupEmpty(t *testing.T) {
+	db, err := Setup(Config{Nodes: 1, Cores: 1, LoadDemo: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Catalog().Datasets(); len(got) != 0 {
+		t.Errorf("empty setup has datasets %v", got)
+	}
+	// Libraries are installed even without demo data.
+	if _, err := db.Catalog().Library("spatialjoins"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepl(t *testing.T) {
+	db, err := Setup(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(`\help
+\datasets
+\joins
+SELECT COUNT(*)
+FROM parks p;
+SELECT broken;
+\q
+`)
+	var out bytes.Buffer
+	Repl(db, in, &out)
+	s := out.String()
+	for _, want := range []string{"fudj>", "parks", "spatial_join", "count(1)", "error:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("repl output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReplEOF(t *testing.T) {
+	db, err := Setup(Config{Nodes: 1, Cores: 1, LoadDemo: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	Repl(db, strings.NewReader(""), &out) // must return, not hang
+	if !strings.Contains(out.String(), "fudj>") {
+		t.Error("no prompt printed")
+	}
+}
+
+func TestSaveLoadCommands(t *testing.T) {
+	db, err := Setup(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/parks.fudj"
+	in := strings.NewReader(`\save parks ` + path + `
+\load parks2 ` + path + `
+SELECT COUNT(*) FROM parks2 p;
+\save nosuch ` + path + `
+\load parks ` + path + `
+\save toofew
+\q
+`)
+	var out bytes.Buffer
+	Repl(db, in, &out)
+	s := out.String()
+	if strings.Count(s, "ok") < 2 {
+		t.Errorf("save/load did not both succeed:\n%s", s)
+	}
+	if !strings.Contains(s, "100") {
+		t.Errorf("reloaded dataset query failed:\n%s", s)
+	}
+	// Missing dataset, duplicate name, and bad arity all report errors.
+	if strings.Count(s, "error:") < 3 {
+		t.Errorf("expected three errors:\n%s", s)
+	}
+}
+
+func TestPrintResultTruncation(t *testing.T) {
+	db, err := Setup(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Execute(`SELECT p.id FROM parks p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	PrintResult(&out, res)
+	if !strings.Contains(out.String(), "more rows") {
+		t.Errorf("expected truncation marker for 100 rows:\n%.200s", out.String())
+	}
+}

@@ -1,0 +1,165 @@
+// Package spindex provides a static, bulk-loaded R-tree over
+// rectangles — the spatial index behind the INLJ (indexed nested-loop
+// join) comparison arm the paper's introduction discusses: "An
+// alternative is leveraging a spatial index with the Indexed-Nested
+// Loop Join (INLJ) operator. However, INLJ works well only when the
+// non-indexed set is relatively small."
+//
+// The tree is built once with the Sort-Tile-Recursive (STR) packing
+// algorithm and is immutable afterwards, which is exactly the shape a
+// per-query join index needs.
+package spindex
+
+import (
+	"math"
+	"sort"
+
+	"fudj/internal/geo"
+)
+
+// Entry is one indexed rectangle with an opaque reference.
+type Entry struct {
+	MBR geo.Rect
+	Ref int
+}
+
+// fanout is the maximum children per node; 16 keeps the tree shallow
+// while nodes stay cache-friendly.
+const fanout = 16
+
+type node struct {
+	mbr      geo.Rect
+	children []*node
+	entries  []Entry // leaf payload; nil for inner nodes
+}
+
+// RTree is an immutable STR-packed R-tree.
+type RTree struct {
+	root *node
+	size int
+}
+
+// Build bulk-loads an R-tree from entries using STR packing: sort by
+// center-x, cut into vertical slabs, sort each slab by center-y, pack
+// runs of `fanout` into leaves, then build upper levels the same way.
+func Build(entries []Entry) *RTree {
+	t := &RTree{size: len(entries)}
+	if len(entries) == 0 {
+		return t
+	}
+	leaves := packLeaves(append([]Entry(nil), entries...))
+	t.root = packUpper(leaves)
+	return t
+}
+
+func packLeaves(entries []Entry) []*node {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].MBR.Center().X < entries[j].MBR.Center().X
+	})
+	nLeaves := (len(entries) + fanout - 1) / fanout
+	slabs := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	perSlab := slabs * fanout
+
+	var leaves []*node
+	for start := 0; start < len(entries); start += perSlab {
+		end := start + perSlab
+		if end > len(entries) {
+			end = len(entries)
+		}
+		slab := entries[start:end]
+		sort.Slice(slab, func(i, j int) bool {
+			return slab[i].MBR.Center().Y < slab[j].MBR.Center().Y
+		})
+		for ls := 0; ls < len(slab); ls += fanout {
+			le := ls + fanout
+			if le > len(slab) {
+				le = len(slab)
+			}
+			leaf := &node{entries: slab[ls:le], mbr: geo.EmptyRect()}
+			for _, e := range leaf.entries {
+				leaf.mbr = leaf.mbr.Union(e.MBR)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func packUpper(nodes []*node) *node {
+	for len(nodes) > 1 {
+		sort.Slice(nodes, func(i, j int) bool {
+			return nodes[i].mbr.Center().X < nodes[j].mbr.Center().X
+		})
+		nParents := (len(nodes) + fanout - 1) / fanout
+		slabs := int(math.Ceil(math.Sqrt(float64(nParents))))
+		perSlab := slabs * fanout
+
+		var parents []*node
+		for start := 0; start < len(nodes); start += perSlab {
+			end := start + perSlab
+			if end > len(nodes) {
+				end = len(nodes)
+			}
+			slab := nodes[start:end]
+			sort.Slice(slab, func(i, j int) bool {
+				return slab[i].mbr.Center().Y < slab[j].mbr.Center().Y
+			})
+			for ls := 0; ls < len(slab); ls += fanout {
+				le := ls + fanout
+				if le > len(slab) {
+					le = len(slab)
+				}
+				parent := &node{children: slab[ls:le], mbr: geo.EmptyRect()}
+				for _, c := range parent.children {
+					parent.mbr = parent.mbr.Union(c.mbr)
+				}
+				parents = append(parents, parent)
+			}
+		}
+		nodes = parents
+	}
+	return nodes[0]
+}
+
+// Size returns the number of indexed entries.
+func (t *RTree) Size() int { return t.size }
+
+// Height returns the tree height (0 for an empty tree, 1 for a single
+// leaf).
+func (t *RTree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if len(n.children) == 0 {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// Search invokes visit for every indexed entry whose MBR intersects
+// query.
+func (t *RTree) Search(query geo.Rect, visit func(Entry)) {
+	if t.root == nil || query.IsEmpty() {
+		return
+	}
+	search(t.root, query, visit)
+}
+
+func search(n *node, query geo.Rect, visit func(Entry)) {
+	if !n.mbr.Intersects(query) {
+		return
+	}
+	if n.entries != nil {
+		for _, e := range n.entries {
+			if e.MBR.Intersects(query) {
+				visit(e)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		search(c, query, visit)
+	}
+}

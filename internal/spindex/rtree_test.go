@@ -1,0 +1,115 @@
+package spindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"fudj/internal/geo"
+)
+
+func randEntries(rng *rand.Rand, n int, span float64) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		x, y := rng.Float64()*span, rng.Float64()*span
+		out[i] = Entry{
+			MBR: geo.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*5, MaxY: y + rng.Float64()*5},
+			Ref: i,
+		}
+	}
+	return out
+}
+
+func collect(t *RTree, q geo.Rect) map[int]bool {
+	out := map[int]bool{}
+	t.Search(q, func(e Entry) {
+		if out[e.Ref] {
+			panic("duplicate visit")
+		}
+		out[e.Ref] = true
+	})
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := Build(nil)
+	if tree.Size() != 0 || tree.Height() != 0 {
+		t.Errorf("empty tree size/height = %d/%d", tree.Size(), tree.Height())
+	}
+	tree.Search(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, func(Entry) {
+		t.Error("visit on empty tree")
+	})
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 15, 16, 17, 250, 3000} {
+		entries := randEntries(rng, n, 200)
+		tree := Build(entries)
+		if tree.Size() != n {
+			t.Fatalf("Size = %d, want %d", tree.Size(), n)
+		}
+		for trial := 0; trial < 40; trial++ {
+			x, y := rng.Float64()*200, rng.Float64()*200
+			q := geo.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*30, MaxY: y + rng.Float64()*30}
+			got := collect(tree, q)
+			want := map[int]bool{}
+			for _, e := range entries {
+				if e.MBR.Intersects(q) {
+					want[e.Ref] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: %d hits, want %d", n, len(got), len(want))
+			}
+			for ref := range want {
+				if !got[ref] {
+					t.Fatalf("n=%d: missing ref %d", n, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree := Build(randEntries(rng, 4000, 500))
+	// fanout 16: 4000 entries fit within height 3 (16^3 = 4096).
+	if h := tree.Height(); h > 4 {
+		t.Errorf("height = %d for 4000 entries", h)
+	}
+}
+
+func TestEmptyQueryRect(t *testing.T) {
+	tree := Build(randEntries(rand.New(rand.NewSource(1)), 50, 10))
+	tree.Search(geo.EmptyRect(), func(Entry) {
+		t.Error("visit with empty query")
+	})
+}
+
+func BenchmarkRTreeVsLinear(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	entries := randEntries(rng, 50000, 2000)
+	tree := Build(entries)
+	queries := make([]geo.Rect, 256)
+	for i := range queries {
+		x, y := rng.Float64()*2000, rng.Float64()*2000
+		queries[i] = geo.Rect{MinX: x, MinY: y, MaxX: x + 10, MaxY: y + 10}
+	}
+	sink := 0
+	b.Run("rtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree.Search(queries[i%len(queries)], func(Entry) { sink++ })
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			for _, e := range entries {
+				if e.MBR.Intersects(q) {
+					sink++
+				}
+			}
+		}
+	})
+	_ = sink
+}

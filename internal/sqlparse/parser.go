@@ -1,0 +1,562 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fudj/internal/expr"
+	"fudj/internal/types"
+)
+
+// Parse parses one statement, ignoring a trailing semicolon.
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected %v after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text if given).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token if it matches; reports success.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token or fails.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.advance(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokenKind]string{
+			tokIdent: "identifier", tokNumber: "number", tokString: "string",
+		}[kind]
+	}
+	return token{}, p.errf("expected %s, found %v", want, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "CREATE"):
+		return p.parseCreateJoin()
+	case p.at(tokKeyword, "DROP"):
+		return p.parseDropJoin()
+	case p.at(tokKeyword, "SELECT"), p.at(tokKeyword, "EXPLAIN"):
+		return p.parseSelect()
+	}
+	return nil, p.errf("expected CREATE, DROP, SELECT, or EXPLAIN, found %v", p.peek())
+}
+
+func (p *parser) parseParamList() ([]ParamDecl, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []ParamDecl
+	for !p.accept(tokPunct, ")") {
+		if len(params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		typ, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, ParamDecl{Name: name.text, Type: typ.text})
+	}
+	return params, nil
+}
+
+func (p *parser) parseCreateJoin() (Statement, error) {
+	p.advance() // CREATE
+	if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParamList()
+	if err != nil {
+		return nil, err
+	}
+	if len(params) < 2 {
+		return nil, p.errf("CREATE JOIN needs at least two key parameters, got %d", len(params))
+	}
+	if _, err := p.expect(tokKeyword, "RETURNS"); err != nil {
+		return nil, err
+	}
+	ret, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if ret.text != "boolean" {
+		return nil, p.errf("CREATE JOIN must return boolean, got %q", ret.text)
+	}
+	if _, err := p.expect(tokKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	class, err := p.expect(tokString, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "AT"); err != nil {
+		return nil, err
+	}
+	lib, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	return &CreateJoin{
+		Name:    name.text,
+		Params:  params,
+		Returns: ret.text,
+		Class:   class.text,
+		Library: lib.text,
+	}, nil
+}
+
+func (p *parser) parseDropJoin() (Statement, error) {
+	p.advance() // DROP
+	if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	var params []ParamDecl
+	if p.at(tokPunct, "(") {
+		if params, err = p.parseParamList(); err != nil {
+			return nil, err
+		}
+	}
+	return &DropJoin{Name: name.text, Params: params}, nil
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	sel := &Select{Limit: -1}
+	if p.accept(tokKeyword, "EXPLAIN") {
+		sel.Explain = true
+	}
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "DISTINCT") {
+		sel.Distinct = true
+	}
+
+	// Projections.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+
+	// INTO (materialize the result as a new dataset).
+	if p.accept(tokKeyword, "INTO") {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		sel.Into = name.text
+	}
+
+	// FROM.
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ds, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Dataset: ds.text, Alias: ds.text}
+		if p.at(tokIdent, "") {
+			ref.Alias = p.advance().text
+		}
+		sel.From = append(sel.From, ref)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+
+	// WHERE.
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+
+	// GROUP BY.
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+
+	// HAVING.
+	if p.accept(tokKeyword, "HAVING") {
+		hasAgg := false
+		for _, it := range sel.Items {
+			if !it.Star && IsAggregate(it.Expr) {
+				hasAgg = true
+			}
+		}
+		if len(sel.GroupBy) == 0 && !hasAgg {
+			return nil, p.errf("HAVING requires GROUP BY or an aggregate projection")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+
+	// ORDER BY.
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+
+	// LIMIT.
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		limit, err := strconv.Atoi(n.text)
+		if err != nil || limit < 0 {
+			return nil, p.errf("bad LIMIT %q", n.text)
+		}
+		sel.Limit = limit
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokPunct, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = name.text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.advance().text
+	}
+	return item, nil
+}
+
+// Expression grammar (precedence low to high):
+//
+//	orExpr   := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | cmpExpr
+//	cmpExpr  := addExpr ((= | <> | < | <= | > | >=) addExpr)?
+//	addExpr  := mulExpr ((+ | -) mulExpr)*
+//	mulExpr  := primary ((* | /) primary)*
+//	primary  := literal | call | column | ( orExpr ) | - primary
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Binary{Op: expr.OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Binary{Op: expr.OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{E: inner}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]expr.BinOp{
+	"=": expr.OpEq, "<>": expr.OpNe, "<": expr.OpLt,
+	"<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) parseCmp() (expr.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokPunct {
+		if op, ok := cmpOps[p.peek().text]; ok {
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &expr.Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (expr.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.BinOp
+		switch {
+		case p.accept(tokPunct, "+"):
+			op = expr.OpAdd
+		case p.accept(tokPunct, "-"):
+			op = expr.OpSub
+		default:
+			return l, nil
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (expr.Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.BinOp
+		switch {
+		case p.accept(tokPunct, "*"):
+			op = expr.OpMul
+		case p.accept(tokPunct, "/"):
+			op = expr.OpDiv
+		default:
+			return l, nil
+		}
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &expr.Literal{V: types.NewFloat64(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &expr.Literal{V: types.NewInt64(i)}, nil
+
+	case t.kind == tokString:
+		p.advance()
+		return &expr.Literal{V: types.NewString(t.text)}, nil
+
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.advance()
+		return &expr.Literal{V: types.NewBool(t.text == "TRUE")}, nil
+
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.advance()
+		return &expr.Literal{V: types.Null}, nil
+
+	case t.kind == tokKeyword && AggregateNames[strings.ToLower(t.text)]:
+		// COUNT/SUM/AVG/MIN/MAX(...) — parsed as calls; COUNT(*) gets a
+		// literal 1 argument so all aggregates are uniform downstream.
+		p.advance()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		name := strings.ToLower(t.text)
+		if p.accept(tokPunct, "*") {
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &expr.Call{Name: name, Args: []expr.Expr{&expr.Literal{V: types.NewInt64(1)}}}, nil
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &expr.Call{Name: name, Args: []expr.Expr{arg}}, nil
+
+	case t.kind == tokIdent:
+		p.advance()
+		// Function call?
+		if p.accept(tokPunct, "(") {
+			call := &expr.Call{Name: t.text}
+			for !p.accept(tokPunct, ")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.accept(tokPunct, ".") {
+			field, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &expr.Column{Qualifier: t.text, Name: field.text}, nil
+		}
+		return &expr.Column{Name: t.text}, nil
+
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+
+	case t.kind == tokPunct && t.text == "-":
+		p.advance()
+		inner, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Binary{Op: expr.OpSub, L: &expr.Literal{V: types.NewInt64(0)}, R: inner}, nil
+	}
+	return nil, p.errf("expected expression, found %v", t)
+}

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fudj/internal/datagen"
+	"fudj/internal/geo"
+	"fudj/internal/interval"
+	"fudj/internal/types"
+)
+
+func TestBinaryRoundTripAllGenerators(t *testing.T) {
+	sets := []*datagen.Dataset{
+		datagen.Wildfires(1, 50),
+		datagen.Parks(2, 50),
+		datagen.NYCTaxi(3, 50),
+		datagen.AmazonReview(4, 50),
+	}
+	for _, ds := range sets {
+		var buf bytes.Buffer
+		if err := WriteDataset(&buf, ds.Name, ds.Schema, ds.Records); err != nil {
+			t.Fatalf("%s: write: %v", ds.Name, err)
+		}
+		name, schema, recs, err := ReadDataset(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", ds.Name, err)
+		}
+		if name != ds.Name {
+			t.Errorf("name = %q, want %q", name, ds.Name)
+		}
+		if schema.String() != ds.Schema.String() {
+			t.Errorf("schema = %v, want %v", schema, ds.Schema)
+		}
+		if len(recs) != len(ds.Records) {
+			t.Fatalf("%d records, want %d", len(recs), len(ds.Records))
+		}
+		for i := range recs {
+			for j := range recs[i] {
+				if !recs[i][j].Equal(ds.Records[i][j]) {
+					t.Fatalf("%s record %d field %d mismatch", ds.Name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds := datagen.Parks(7, 20)
+	path := filepath.Join(t.TempDir(), "parks.fudj")
+	if err := SaveFile(path, "parks", ds.Schema, ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	name, schema, recs, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "parks" || schema.Len() != ds.Schema.Len() || len(recs) != 20 {
+		t.Errorf("loaded %q %v %d", name, schema, len(recs))
+	}
+	if _, _, _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestReadDatasetErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   []byte("NOTFUDJ\x01"),
+		"bad version": []byte(magic + "\x07"),
+		"truncated":   []byte(magic + "\x01\x05abc"),
+	}
+	for name, buf := range cases {
+		if _, _, _, err := ReadDataset(bytes.NewReader(buf)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	// Trailing garbage is rejected.
+	var buf bytes.Buffer
+	schema := types.NewSchema(types.Field{Name: "id", Kind: types.KindInt64})
+	if err := WriteDataset(&buf, "t", schema, []types.Record{{types.NewInt64(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0xFF)
+	if _, _, _, err := ReadDataset(&buf); err == nil {
+		t.Error("trailing bytes should error")
+	}
+}
+
+func TestWriteDatasetRejectsRaggedRecords(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "id", Kind: types.KindInt64})
+	err := WriteDataset(&bytes.Buffer{}, "t", schema, []types.Record{{types.NewInt64(1), types.NewInt64(2)}})
+	if err == nil {
+		t.Error("ragged record should error")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		kind types.Kind
+		text string
+		want types.Value
+	}{
+		{types.KindInt64, "42", types.NewInt64(42)},
+		{types.KindInt64, "-7", types.NewInt64(-7)},
+		{types.KindFloat64, "2.5", types.NewFloat64(2.5)},
+		{types.KindBool, "true", types.NewBool(true)},
+		{types.KindString, `"hello\tworld"`, types.NewString("hello\tworld")},
+		{types.KindString, "bare", types.NewString("bare")},
+		{types.KindPoint, "POINT(1.5 -2)", types.NewPoint(geo.Point{X: 1.5, Y: -2})},
+		{types.KindRect, "RECT(0 0, 3 4)", types.NewRect(geo.Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 4})},
+		{types.KindInterval, "[10,20]", types.NewInterval(interval.Interval{Start: 10, End: 20})},
+		{types.KindNull, "whatever", types.Null},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.kind, c.text)
+		if err != nil {
+			t.Errorf("ParseValue(%v, %q): %v", c.kind, c.text, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("ParseValue(%v, %q) = %v, want %v", c.kind, c.text, got, c.want)
+		}
+	}
+	for _, bad := range []struct {
+		kind types.Kind
+		text string
+	}{
+		{types.KindInt64, "x"},
+		{types.KindFloat64, ""},
+		{types.KindBool, "maybe"},
+		{types.KindPoint, "1,2"},
+		{types.KindInterval, "10-20"},
+		{types.KindPolygon, "POLYGON(...)"},
+	} {
+		if _, err := ParseValue(bad.kind, bad.text); err == nil {
+			t.Errorf("ParseValue(%v, %q): want error", bad.kind, bad.text)
+		}
+	}
+}
+
+// Property: any value whose kind ParseValue supports round-trips
+// through its String rendering.
+func TestParseValueInvertsString(t *testing.T) {
+	vals := []types.Value{
+		types.NewInt64(123), types.NewFloat64(-0.5), types.NewBool(false),
+		types.NewString("with \"quotes\" and\ttabs"),
+		types.NewPoint(geo.Point{X: 3, Y: 4}),
+		types.NewRect(geo.Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4}),
+		types.NewInterval(interval.Interval{Start: -5, End: 500}),
+	}
+	for _, v := range vals {
+		got, err := ParseValue(v.Kind(), v.String())
+		if err != nil {
+			t.Errorf("round trip %v: %v", v, err)
+			continue
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestReadTSV(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt64},
+		types.Field{Name: "location", Kind: types.KindPoint},
+		types.Field{Name: "note", Kind: types.KindString},
+	)
+	// Note: tabs inside quoted strings are not supported by the TSV
+	// importer (a documented format restriction).
+	input := `# a comment
+id	location	note
+1	POINT(1 2)	"hello"
+
+2	POINT(3 4)	"world"
+`
+	recs, err := ReadTSV(strings.NewReader(input), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[1][1].Point() != (geo.Point{X: 3, Y: 4}) || recs[1][2].Str() != "world" {
+		t.Errorf("record 1 = %v", recs[1])
+	}
+	// Errors: header mismatch, bad column count, bad value.
+	if _, err := ReadTSV(strings.NewReader("wrong\theader\tnames\n"), schema); err == nil {
+		t.Error("header mismatch should error")
+	}
+	if _, err := ReadTSV(strings.NewReader("id\tlocation\tnote\n1\tPOINT(1 2)\n"), schema); err == nil {
+		t.Error("short row should error")
+	}
+	if _, err := ReadTSV(strings.NewReader("id\tlocation\tnote\nx\tPOINT(1 2)\t\"a\"\n"), schema); err == nil {
+		t.Error("bad int should error")
+	}
+}
+
+// The datagen TSV output read back must equal the original (for the
+// kinds the text format supports).
+func TestTSVRoundTripWithDatagenFormat(t *testing.T) {
+	ds := datagen.Wildfires(11, 30)
+	var sb strings.Builder
+	names := make([]string, ds.Schema.Len())
+	for i, f := range ds.Schema.Fields {
+		names[i] = f.Name
+	}
+	sb.WriteString("# " + ds.String() + "\n")
+	sb.WriteString(strings.Join(names, "\t") + "\n")
+	for _, rec := range ds.Records {
+		cells := make([]string, len(rec))
+		for i, v := range rec {
+			cells[i] = v.String()
+		}
+		sb.WriteString(strings.Join(cells, "\t") + "\n")
+	}
+	recs, err := ReadTSV(strings.NewReader(sb.String()), ds.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(ds.Records) {
+		t.Fatalf("%d records, want %d", len(recs), len(ds.Records))
+	}
+	for i := range recs {
+		for j := range recs[i] {
+			if !recs[i][j].Equal(ds.Records[i][j]) {
+				t.Fatalf("record %d field %d: %v != %v", i, j, recs[i][j], ds.Records[i][j])
+			}
+		}
+	}
+}

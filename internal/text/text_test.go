@@ -1,0 +1,192 @@
+package text
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"Hello, World!", []string{"hello", "world"}},
+		{"a a a b", []string{"a", "b"}},
+		{"River; Scenic-Landscape Camping", []string{"river", "scenic", "landscape", "camping"}},
+		{"  42 answers  ", []string{"42", "answers"}},
+		{"ONE one One", []string{"one"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]string{"a"}, nil, 0},
+		{[]string{"a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3.0},
+		{[]string{"a", "b", "c", "d"}, []string{"c", "d", "e"}, 2.0 / 5.0},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); got != c.want {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Jaccard(c.b, c.a); got != c.want {
+			t.Errorf("Jaccard not symmetric for (%v, %v)", c.a, c.b)
+		}
+	}
+}
+
+func TestPrefixLength(t *testing.T) {
+	cases := []struct {
+		l    int
+		t    float64
+		want int
+	}{
+		{0, 0.9, 0},
+		{10, 0.9, 2}, // 10 - ceil(9) + 1
+		{10, 0.5, 6}, // 10 - 5 + 1
+		{10, 1.0, 1}, // exact match still needs one token indexed
+		{3, 0.9, 1},  // 3 - ceil(2.7)=3 + 1
+		{5, 0.01, 5}, // near-zero threshold indexes everything
+	}
+	for _, c := range cases {
+		if got := PrefixLength(c.l, c.t); got != c.want {
+			t.Errorf("PrefixLength(%d, %v) = %d, want %d", c.l, c.t, got, c.want)
+		}
+	}
+}
+
+func TestBuildRankTable(t *testing.T) {
+	rt := BuildRankTable(map[string]int64{"common": 100, "rare": 1, "mid": 10})
+	if rt.Rank("rare") != 0 || rt.Rank("mid") != 1 || rt.Rank("common") != 2 {
+		t.Errorf("ranks = rare:%d mid:%d common:%d", rt.Rank("rare"), rt.Rank("mid"), rt.Rank("common"))
+	}
+	if rt.Rank("never-seen") != 3 {
+		t.Errorf("unseen rank = %d, want 3", rt.Rank("never-seen"))
+	}
+	if rt.Size() != 3 {
+		t.Errorf("Size = %d, want 3", rt.Size())
+	}
+	// Ties broken deterministically by token text.
+	rt2 := BuildRankTable(map[string]int64{"b": 5, "a": 5})
+	if rt2.Rank("a") != 0 || rt2.Rank("b") != 1 {
+		t.Error("tie-break by token text failed")
+	}
+}
+
+func TestPrefixRanks(t *testing.T) {
+	rt := BuildRankTable(map[string]int64{"a": 1, "b": 2, "c": 3, "d": 4})
+	got := rt.PrefixRanks([]string{"d", "b", "a", "c"}, 0.5)
+	// l=4, p = 4 - 2 + 1 = 3; rarest three ranks are 0,1,2.
+	want := []int{0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PrefixRanks = %v, want %v", got, want)
+	}
+}
+
+// Property: the prefix-filter is complete — any pair of token sets with
+// Jaccard >= threshold shares at least one prefix rank. This is the
+// invariant that makes the text-similarity FUDJ's ASSIGN lossless.
+func TestQuickPrefixFilterCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	counts := make(map[string]int64)
+	for i, tok := range vocab {
+		counts[tok] = int64(i*i + 1)
+	}
+	rt := BuildRankTable(counts)
+
+	randSet := func() []string {
+		n := 1 + rng.Intn(8)
+		seen := map[string]bool{}
+		var out []string
+		for len(out) < n {
+			tok := vocab[rng.Intn(len(vocab))]
+			if !seen[tok] {
+				seen[tok] = true
+				out = append(out, tok)
+			}
+		}
+		return out
+	}
+
+	for _, threshold := range []float64{0.5, 0.7, 0.9} {
+		for trial := 0; trial < 3000; trial++ {
+			a, b := randSet(), randSet()
+			if Jaccard(a, b) < threshold {
+				continue
+			}
+			pa := rt.PrefixRanks(a, threshold)
+			pb := rt.PrefixRanks(b, threshold)
+			share := false
+			for _, ra := range pa {
+				for _, rb := range pb {
+					if ra == rb {
+						share = true
+					}
+				}
+			}
+			if !share {
+				t.Fatalf("threshold %v: similar sets %v and %v share no prefix rank (%v vs %v)",
+					threshold, a, b, pa, pb)
+			}
+		}
+	}
+}
+
+// Property: Jaccard is bounded in [0,1] and equals 1 iff sets are equal.
+func TestQuickJaccardBounds(t *testing.T) {
+	f := func(a, b []string) bool {
+		da, db := dedup(a), dedup(b)
+		j := Jaccard(da, db)
+		if j < 0 || j > 1 {
+			return false
+		}
+		if j == 1 && !sameSet(da, db) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[string]bool{}
+	for _, s := range a {
+		m[s] = true
+	}
+	for _, s := range b {
+		if !m[s] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,80 @@
+package fudj
+
+import (
+	"fudj/internal/datagen"
+	"fudj/internal/joins/builtin"
+	"fudj/internal/joins/distancejoin"
+	"fudj/internal/joins/intervaljoin"
+	"fudj/internal/joins/spatialjoin"
+	"fudj/internal/joins/textsim"
+	"fudj/internal/joins/trajjoin"
+)
+
+// The three reference join libraries from §V of the paper, ready to
+// install into a DB, plus their hand-built operator twins and the
+// synthetic dataset generators used by the experiment harness.
+
+// SpatialLibrary returns the PBSM spatial join library
+// ("spatialjoins"), with classes for the default duplicate-avoidance
+// build, the Reference Point build, a duplicate-elimination build, and
+// a no-dedup build.
+func SpatialLibrary() *Library { return spatialjoin.Library() }
+
+// TextSimilarityLibrary returns the prefix-filtering set-similarity
+// join library ("flexiblejoins") with avoidance and elimination builds.
+func TextSimilarityLibrary() *Library { return textsim.Library() }
+
+// IntervalLibrary returns the overlapping-interval join library
+// ("intervaljoins").
+func IntervalLibrary() *Library { return intervaljoin.Library() }
+
+// TrajectoryLibrary returns the trajectory closeness join library
+// ("trajjoins"), a fifth example covering the trajectory join class
+// the paper's related work surveys.
+func TrajectoryLibrary() *Library { return trajjoin.Library() }
+
+// DistanceLibrary returns the point distance join library
+// ("distancejoins"), a kNN-style fourth example beyond the paper's
+// three.
+func DistanceLibrary() *Library { return distancejoin.Library() }
+
+// Hand-built operators (the paper's built-in comparison arm) with the
+// BuiltinJoinFunc signature, for DB.RegisterBuiltinJoin.
+var (
+	// BuiltinSpatialPBSM is the hand-built PBSM spatial join.
+	BuiltinSpatialPBSM BuiltinJoinFunc = builtin.SpatialPBSM
+	// BuiltinSpatialPlaneSweep is the advanced spatial operator with a
+	// plane-sweep local join (§VII-F).
+	BuiltinSpatialPlaneSweep BuiltinJoinFunc = builtin.SpatialPlaneSweep
+	// BuiltinIntervalOIP is the hand-built overlapping-interval join.
+	BuiltinIntervalOIP BuiltinJoinFunc = builtin.IntervalOIP
+	// BuiltinSpatialINLJ is the indexed nested-loop spatial join from
+	// the paper's introduction: broadcast + R-tree + probe.
+	BuiltinSpatialINLJ BuiltinJoinFunc = builtin.SpatialINLJ
+	// BuiltinTextSimilarity is the hand-built set-similarity join.
+	BuiltinTextSimilarity BuiltinJoinFunc = builtin.TextSimilarity
+)
+
+// GeneratedDataset is a synthetic dataset with schema and metadata.
+type GeneratedDataset = datagen.Dataset
+
+// GenWildfires generates n clustered fire-report points.
+func GenWildfires(seed int64, n int) *GeneratedDataset { return datagen.Wildfires(seed, n) }
+
+// GenParks generates n heavy-tailed park polygons with tag strings.
+func GenParks(seed int64, n int) *GeneratedDataset { return datagen.Parks(seed, n) }
+
+// GenNYCTaxi generates n taxi rides with rush-hour interval bursts.
+func GenNYCTaxi(seed int64, n int) *GeneratedDataset { return datagen.NYCTaxi(seed, n) }
+
+// GenAmazonReview generates n Zipfian-vocabulary product reviews.
+func GenAmazonReview(seed int64, n int) *GeneratedDataset { return datagen.AmazonReview(seed, n) }
+
+// GenTrajectories generates n clustered random-walk trajectories.
+func GenTrajectories(seed int64, n int) *GeneratedDataset { return datagen.Trajectories(seed, n) }
+
+// LoadGenerated creates a dataset in db from a generated dataset,
+// using the lowercase dataset name.
+func LoadGenerated(db *DB, name string, ds *GeneratedDataset) error {
+	return db.CreateDataset(name, ds.Schema, ds.Records)
+}
