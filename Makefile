@@ -1,0 +1,29 @@
+# Build, verify, and chaos-test the FUDJ reproduction.
+
+GO ?= go
+
+.PHONY: all vet build test race chaos ci
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# chaos runs the fault-tolerance suite under the race detector:
+# deterministic fault injection (crashes, a straggler node, shuffle
+# corruption), cancellation/deadline handling, and UDF panic isolation.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Retry|Straggler|Corrupt|Deadline|Cancel|UDFPanic|StandalonePanic' \
+		./internal/cluster/ ./internal/core/ ./internal/engine/ \
+		./internal/joins/spatialjoin/ ./internal/joins/textsim/ ./internal/joins/intervaljoin/
+
+ci: vet build race chaos

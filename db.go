@@ -37,6 +37,20 @@ const (
 // operator, the paper's "built-in" comparison arm.
 type BuiltinJoinFunc = engine.BuiltinJoinFunc
 
+// FaultConfig describes faults to inject into query executions
+// (deterministic and seedable); arm it with DB.SetFaultConfig.
+type FaultConfig = cluster.FaultConfig
+
+// RetryPolicy governs task retry, backoff, and straggler speculation;
+// override the default with DB.SetRetryPolicy.
+type RetryPolicy = cluster.RetryPolicy
+
+// FaultError is an injected infrastructure failure (retryable).
+type FaultError = cluster.FaultError
+
+// PartitionError tags a task failure with its partition id.
+type PartitionError = cluster.PartitionError
+
 // Open creates a database.
 func Open(opts Options) (*DB, error) { return engine.Open(opts) }
 

@@ -96,6 +96,10 @@ type Constructor = core.Constructor
 // StandaloneStats reports what a standalone execution did.
 type StandaloneStats = core.Stats
 
+// UDFError is a panic inside user-defined join code, converted into a
+// structured error naming the join, phase, partition, and record.
+type UDFError = core.UDFError
+
 // Wrap validates a Spec and returns the engine-facing Join.
 func Wrap[KL, KR, S, P any](spec Spec[KL, KR, S, P]) Join { return core.Wrap(spec) }
 

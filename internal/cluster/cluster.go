@@ -15,8 +15,11 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fudj/internal/types"
@@ -68,6 +71,10 @@ type Metrics struct {
 	bytesBroadcast int64
 	busy           []time.Duration
 	tasks          int64
+	retries        int64
+	recovered      int64
+	speculative    int64
+	corruptHealed  int64
 }
 
 func newMetrics(parts int) *Metrics {
@@ -127,6 +134,38 @@ func (m *Metrics) Tasks() int64 {
 	return m.tasks
 }
 
+// Retries returns how many partition task attempts were re-executed
+// after a failure or speculative abandonment.
+func (m *Metrics) Retries() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retries
+}
+
+// Recovered returns how many partition tasks ultimately succeeded
+// after at least one failed attempt.
+func (m *Metrics) Recovered() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovered
+}
+
+// Speculative returns how many straggling task attempts were abandoned
+// in favour of a speculative re-execution.
+func (m *Metrics) Speculative() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.speculative
+}
+
+// CorruptionsHealed returns how many corrupted shuffle payloads were
+// recovered by resending.
+func (m *Metrics) CorruptionsHealed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.corruptHealed
+}
+
 func (m *Metrics) addBusy(part int, d time.Duration) {
 	m.mu.Lock()
 	m.busy[part] += d
@@ -147,12 +186,40 @@ func (m *Metrics) addBroadcast(bytes int64) {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) addRetry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addRecovered() {
+	m.mu.Lock()
+	m.recovered++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addSpeculative() {
+	m.mu.Lock()
+	m.speculative++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addCorruptHealed() {
+	m.mu.Lock()
+	m.corruptHealed++
+	m.mu.Unlock()
+}
+
 // Cluster is one simulated deployment. It is safe for a single query
 // at a time; the engine creates one per query execution so metrics are
 // per-query.
 type Cluster struct {
 	cfg     Config
 	metrics *Metrics
+	faults  *FaultInjector
+	retry   RetryPolicy
+	qctx    context.Context
+	epoch   atomic.Int64
 }
 
 // New builds a cluster, panicking on invalid configuration (a harness
@@ -161,7 +228,7 @@ func New(cfg Config) *Cluster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Cluster{cfg: cfg, metrics: newMetrics(cfg.Partitions())}
+	return &Cluster{cfg: cfg, metrics: newMetrics(cfg.Partitions()), retry: DefaultRetryPolicy()}
 }
 
 // Config returns the cluster configuration.
@@ -169,6 +236,42 @@ func (c *Cluster) Config() Config { return c.cfg }
 
 // Metrics returns the cluster's cost counters.
 func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// SetFaults installs a fault injector for this cluster's lifetime.
+// Install a fresh injector per query so fault decisions stay
+// deterministic. A nil injector disables fault injection.
+func (c *Cluster) SetFaults(fi *FaultInjector) { c.faults = fi }
+
+// Faults returns the installed fault injector, or nil.
+func (c *Cluster) Faults() *FaultInjector { return c.faults }
+
+// SetRetryPolicy replaces the task retry policy.
+func (c *Cluster) SetRetryPolicy(p RetryPolicy) {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	c.retry = p
+}
+
+// SetContext attaches a query context: cancellation or deadline expiry
+// aborts in-flight partition tasks at their next checkpoint (injected
+// delays and backoff sleeps abort immediately).
+func (c *Cluster) SetContext(ctx context.Context) { c.qctx = ctx }
+
+// context returns the attached query context, or Background.
+func (c *Cluster) context() context.Context {
+	if c.qctx != nil {
+		return c.qctx
+	}
+	return context.Background()
+}
+
+// Err reports the attached context's cancellation state.
+func (c *Cluster) Err() error { return c.context().Err() }
+
+// nextEpoch returns a fresh fault epoch. Cluster operations within one
+// query run sequentially, so the counter is deterministic.
+func (c *Cluster) nextEpoch() int64 { return c.epoch.Add(1) }
 
 // Partitions returns the total partition count.
 func (c *Cluster) Partitions() int { return c.cfg.Partitions() }
@@ -191,40 +294,38 @@ func (c *Cluster) Scatter(recs []types.Record) Data {
 }
 
 // Run executes f once per partition in parallel and returns the
-// per-partition outputs. Busy time is accounted per partition.
+// per-partition outputs. Busy time is accounted per partition. Each
+// partition task runs under the cluster's retry policy: injected
+// transient faults are retried with capped exponential backoff, and a
+// failed query reports every failing partition (via errors.Join), not
+// just the first one.
 func (c *Cluster) Run(data Data, f func(part int, in []types.Record) ([]types.Record, error)) (Data, error) {
-	if len(data) != c.Partitions() {
-		return nil, fmt.Errorf("cluster: data has %d partitions, cluster has %d", len(data), c.Partitions())
+	out, err := runParts(c, data, f)
+	if err != nil {
+		return nil, err
 	}
-	out := c.NewData()
-	errs := make([]error, c.Partitions())
-	var wg sync.WaitGroup
-	for part := 0; part < c.Partitions(); part++ {
-		wg.Add(1)
-		go func(part int) {
-			defer wg.Done()
-			start := time.Now()
-			res, err := f(part, data[part])
-			c.metrics.addBusy(part, time.Since(start))
-			out[part] = res
-			errs[part] = err
-		}(part)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return Data(out), nil
 }
 
 // RunValues executes f once per partition in parallel for tasks that
 // produce an arbitrary value instead of records (e.g. local summaries).
+// It shares Run's retry and error-aggregation semantics.
 func RunValues[T any](c *Cluster, data Data, f func(part int, in []types.Record) (T, error)) ([]T, error) {
+	return runParts(c, data, f)
+}
+
+// runParts is the shared parallel task scaffold behind Run and
+// RunValues: one goroutine per partition, each driving its task
+// through the retry policy, with all failures aggregated.
+func runParts[T any](c *Cluster, data Data, f func(part int, in []types.Record) (T, error)) ([]T, error) {
 	if len(data) != c.Partitions() {
 		return nil, fmt.Errorf("cluster: data has %d partitions, cluster has %d", len(data), c.Partitions())
 	}
+	ctx := c.context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	epoch := c.nextEpoch()
 	out := make([]T, c.Partitions())
 	errs := make([]error, c.Partitions())
 	var wg sync.WaitGroup
@@ -232,20 +333,135 @@ func RunValues[T any](c *Cluster, data Data, f func(part int, in []types.Record)
 		wg.Add(1)
 		go func(part int) {
 			defer wg.Done()
-			start := time.Now()
-			res, err := f(part, data[part])
-			c.metrics.addBusy(part, time.Since(start))
-			out[part] = res
-			errs[part] = err
+			out[part], errs[part] = runTask(c, ctx, epoch, part, data[part], f)
 		}(part)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var fails []error
+	for part, err := range errs {
 		if err != nil {
-			return nil, err
+			fails = append(fails, &PartitionError{Part: part, Err: err})
 		}
 	}
+	if len(fails) > 0 {
+		return nil, errors.Join(fails...)
+	}
 	return out, nil
+}
+
+// runTask drives one partition task to completion under the retry
+// policy: transient (injected) failures retry with capped exponential
+// backoff, straggling attempts are abandoned and immediately
+// re-executed, and deterministic task errors fail fast.
+func runTask[T any](c *Cluster, ctx context.Context, epoch int64, part int, in []types.Record, f func(part int, in []types.Record) (T, error)) (T, error) {
+	var zero T
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var fails []error
+	backoffNext := false
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		if attempt > 0 {
+			c.metrics.addRetry()
+			if backoffNext && !sleepCtx(ctx, c.retry.backoff(attempt)) {
+				return zero, ctx.Err()
+			}
+		}
+		start := time.Now()
+		res, err := runAttempt(c, ctx, epoch, part, attempt, in, f)
+		c.metrics.addBusy(part, time.Since(start))
+		if err == nil {
+			if attempt > 0 {
+				c.metrics.addRecovered()
+			}
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return zero, ctx.Err()
+		}
+		if errors.Is(err, errStragglerAbandoned) {
+			// Speculation abandoned a straggling attempt before it did any
+			// user work; re-execute immediately without backoff.
+			c.metrics.addSpeculative()
+			backoffNext = false
+			fails = append(fails, fmt.Errorf("attempt %d: %w", attempt, err))
+			continue
+		}
+		if !IsRetryable(err) {
+			return zero, err
+		}
+		backoffNext = true
+		fails = append(fails, err)
+	}
+	return zero, fmt.Errorf("cluster: gave up after %d attempts: %w", attempts, errors.Join(fails...))
+}
+
+// runAttempt executes one task attempt, injecting faults and — when
+// speculation is enabled — abandoning an attempt that has not started
+// user work after SpeculativeAfter. The straggler delay models node
+// slowness *before* the task runs, so an abandoned attempt never
+// executed f: the speculative copy is the only execution, and task
+// closures never run concurrently with themselves.
+func runAttempt[T any](c *Cluster, ctx context.Context, epoch int64, part, attempt int, in []types.Record, f func(part int, in []types.Record) (T, error)) (T, error) {
+	var zero T
+	fi := c.faults
+	if fi == nil {
+		return f(part, in)
+	}
+	node := c.NodeOf(part)
+	exec := func(actx context.Context) (T, error) {
+		if d := fi.stragglerDelay(node, attempt); d > 0 {
+			if !sleepCtx(actx, d) {
+				return zero, actx.Err()
+			}
+		}
+		if err := fi.crash(epoch, node, part, attempt); err != nil {
+			return zero, err
+		}
+		if err := actx.Err(); err != nil {
+			return zero, err
+		}
+		return f(part, in)
+	}
+	spec := c.retry.SpeculativeAfter
+	if spec <= 0 {
+		return exec(ctx)
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		val T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := exec(actx)
+		ch <- result{v, err}
+	}()
+	timer := time.NewTimer(spec)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.val, r.err
+	case <-timer.C:
+		// The attempt is slow. Cancel it; if it aborts inside the injected
+		// delay (never having started user work), report it abandoned so
+		// the driver re-executes immediately. If it finished anyway, use
+		// the result.
+		cancel()
+		r := <-ch
+		if r.err != nil && ctx.Err() == nil && errors.Is(r.err, context.Canceled) {
+			return zero, errStragglerAbandoned
+		}
+		return r.val, r.err
+	}
 }
 
 // Exchange repartitions data: route maps each record to a destination
@@ -329,22 +545,52 @@ func (c *Cluster) Replicate(data Data) (Data, error) {
 }
 
 // deliver moves outbox[src][dst] into the destination partitions,
-// serializing cross-node traffic.
+// serializing cross-node traffic. A corrupted cross-node payload
+// (injected, or a genuine decode failure) is resent from the source's
+// still-intact outbox up to the retry policy's attempt budget; every
+// transfer, including resends, is charged to the shuffle counters.
 func (c *Cluster) deliver(outbox [][][]types.Record) (Data, error) {
 	p := c.Partitions()
+	ctx := c.context()
+	fi := c.faults
+	var epoch int64
+	if fi != nil {
+		epoch = c.nextEpoch()
+	}
+	maxAttempts := c.retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
 	out := c.NewData()
 	for src := 0; src < p; src++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for dst := 0; dst < p; dst++ {
 			batch := outbox[src][dst]
 			if len(batch) == 0 {
 				continue
 			}
 			if c.NodeOf(src) != c.NodeOf(dst) {
-				buf := types.EncodeRecords(batch)
-				c.metrics.addShuffle(int64(len(buf)), int64(len(batch)))
-				decoded, err := types.DecodeRecords(buf)
+				var decoded []types.Record
+				var err error
+				attempt := 0
+				for ; attempt < maxAttempts; attempt++ {
+					buf := types.EncodeRecords(batch)
+					if fi != nil && fi.corrupt(epoch, int64(src), int64(dst), int64(attempt)) {
+						buf = corruptPayload(buf)
+					}
+					c.metrics.addShuffle(int64(len(buf)), int64(len(batch)))
+					if decoded, err = types.DecodeRecords(buf); err == nil {
+						break
+					}
+					c.metrics.addRetry()
+				}
 				if err != nil {
-					return nil, fmt.Errorf("cluster: shuffle decode: %w", err)
+					return nil, fmt.Errorf("cluster: shuffle %d->%d decode failed after %d attempts: %w", src, dst, attempt, err)
+				}
+				if attempt > 0 {
+					c.metrics.addCorruptHealed()
 				}
 				batch = decoded
 			}
@@ -363,17 +609,30 @@ func (c *Cluster) ExchangeHash(data Data, key func(r types.Record) uint64) (Data
 }
 
 // ExchangeRandom repartitions round-robin (the "random partitioning"
-// AsterixDB applies to one side of a theta join, §VII-C).
+// AsterixDB applies to one side of a theta join, §VII-C). Each source
+// partition keeps its own counter, offset by its partition id so the
+// sources' streams interleave evenly — no global mutex serializing all
+// routing, and the first record of partition 0 lands on partition 0
+// instead of skipping it.
 func (c *Cluster) ExchangeRandom(data Data) (Data, error) {
 	p := c.Partitions()
-	var mu sync.Mutex
-	next := 0
-	return c.Exchange(data, func(_ int, _ types.Record) int {
-		mu.Lock()
-		defer mu.Unlock()
-		next = (next + 1) % p
-		return next
+	if len(data) != p {
+		return nil, fmt.Errorf("cluster: data has %d partitions, cluster has %d", len(data), p)
+	}
+	outbox := make([][][]types.Record, p)
+	_, err := c.Run(data, func(part int, in []types.Record) ([]types.Record, error) {
+		box := make([][]types.Record, p)
+		for i, r := range in {
+			dst := (part + i) % p
+			box[dst] = append(box[dst], r)
+		}
+		outbox[part] = box
+		return nil, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return c.deliver(outbox)
 }
 
 // Broadcast accounts for shipping one opaque blob (e.g. an encoded

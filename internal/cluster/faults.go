@@ -1,0 +1,282 @@
+// Fault injection and recovery for the simulated cluster. The paper's
+// engine runs on a real 12-node deployment where task crashes, slow
+// ("straggler") nodes, and corrupt shuffle payloads are facts of life;
+// this file gives the simulator the same adversarial conditions — fully
+// deterministic and seedable, so a chaos run is reproducible bit for
+// bit — plus the recovery machinery (retry with capped exponential
+// backoff, speculative re-execution, shuffle resend) that lets queries
+// survive them.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig describes the adverse conditions to inject. The zero
+// value injects nothing. All decisions derive from Seed and the fault
+// site (epoch, partition, attempt), never from wall clock or a shared
+// RNG, so a given configuration misbehaves identically on every run.
+type FaultConfig struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+	// CrashProb is the per-task-attempt probability of a simulated
+	// crash (the task dies before publishing results and is retried).
+	CrashProb float64
+	// FailedNodes lists nodes whose tasks always crash on their first
+	// attempt — a node failure recovered by rescheduling, since the
+	// retry models re-execution after failover.
+	FailedNodes []int
+	// StragglerNodes lists nodes whose tasks are delayed by
+	// StragglerDelay on their first attempt (a slow disk, a busy
+	// neighbour). Speculative re-execution sidesteps the delay.
+	StragglerNodes []int
+	// StragglerDelay is the injected delay on straggler nodes
+	// (default 25ms when StragglerNodes is non-empty).
+	StragglerDelay time.Duration
+	// CorruptProb is the per-cross-node-batch probability that a
+	// shuffle payload arrives corrupted and must be resent.
+	CorruptProb float64
+}
+
+// FaultInjector makes deterministic fault decisions for one query
+// execution and counts what it injected. Create a fresh injector per
+// query so two queries with the same seed see the same faults.
+type FaultInjector struct {
+	cfg       FaultConfig
+	nodeDown  map[int]bool
+	straggler map[int]bool
+
+	crashes     atomic.Int64
+	delays      atomic.Int64
+	corruptions atomic.Int64
+}
+
+// NewFaultInjector builds an injector, applying defaults (25ms
+// straggler delay when stragglers are configured without one).
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	if cfg.StragglerDelay <= 0 {
+		cfg.StragglerDelay = 25 * time.Millisecond
+	}
+	fi := &FaultInjector{
+		cfg:       cfg,
+		nodeDown:  make(map[int]bool, len(cfg.FailedNodes)),
+		straggler: make(map[int]bool, len(cfg.StragglerNodes)),
+	}
+	for _, n := range cfg.FailedNodes {
+		fi.nodeDown[n] = true
+	}
+	for _, n := range cfg.StragglerNodes {
+		fi.straggler[n] = true
+	}
+	return fi
+}
+
+// Config returns the injector's configuration.
+func (fi *FaultInjector) Config() FaultConfig { return fi.cfg }
+
+// Crashes returns how many task crashes were injected.
+func (fi *FaultInjector) Crashes() int64 { return fi.crashes.Load() }
+
+// Delays returns how many straggler delays were injected.
+func (fi *FaultInjector) Delays() int64 { return fi.delays.Load() }
+
+// Corruptions returns how many shuffle payloads were corrupted.
+func (fi *FaultInjector) Corruptions() int64 { return fi.corruptions.Load() }
+
+// Decision channels, kept distinct so a crash roll never correlates
+// with a corruption roll at the same coordinates.
+const (
+	rollCrash = iota + 1
+	rollCorrupt
+)
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
+// mixing function.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// roll returns a uniform float in [0, 1) derived purely from the seed,
+// the decision channel, and the fault site coordinates.
+func (fi *FaultInjector) roll(kind int, coords ...int64) float64 {
+	h := mix64(uint64(fi.cfg.Seed) ^ uint64(kind)*0x9e3779b97f4a7c15)
+	for _, v := range coords {
+		h = mix64(h ^ (uint64(v) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)))
+	}
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// stragglerDelay returns the injected delay for one task attempt.
+// Only first attempts on straggler nodes are delayed: a speculative or
+// retried copy models re-execution on a healthy node.
+func (fi *FaultInjector) stragglerDelay(node, attempt int) time.Duration {
+	if attempt == 0 && fi.straggler[node] {
+		fi.delays.Add(1)
+		return fi.cfg.StragglerDelay
+	}
+	return 0
+}
+
+// crash decides whether one task attempt dies, returning a retryable
+// *FaultError when it does.
+func (fi *FaultInjector) crash(epoch int64, node, part, attempt int) error {
+	if attempt == 0 && fi.nodeDown[node] {
+		fi.crashes.Add(1)
+		return &FaultError{Kind: FaultNodeDown, Node: node, Part: part, Attempt: attempt}
+	}
+	if fi.cfg.CrashProb > 0 && fi.roll(rollCrash, epoch, int64(part), int64(attempt)) < fi.cfg.CrashProb {
+		fi.crashes.Add(1)
+		return &FaultError{Kind: FaultCrash, Node: node, Part: part, Attempt: attempt}
+	}
+	return nil
+}
+
+// corrupt decides whether one cross-node shuffle batch arrives
+// corrupted on this transfer attempt.
+func (fi *FaultInjector) corrupt(epoch, src, dst, attempt int64) bool {
+	if fi.cfg.CorruptProb <= 0 {
+		return false
+	}
+	if fi.roll(rollCorrupt, epoch, src, dst, attempt) < fi.cfg.CorruptProb {
+		fi.corruptions.Add(1)
+		return true
+	}
+	return false
+}
+
+// corruptPayload damages an encoded shuffle buffer the way a botched
+// transfer would: the tail is lost. DecodeRecords is guaranteed to
+// reject the result because the batch header still claims the full
+// record count.
+func corruptPayload(buf []byte) []byte {
+	return buf[:len(buf)/2]
+}
+
+// FaultKind classifies an injected fault.
+type FaultKind int
+
+// The injected fault kinds.
+const (
+	FaultCrash    FaultKind = iota // probabilistic task crash
+	FaultNodeDown                  // deterministic per-node failure
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "task crash"
+	case FaultNodeDown:
+		return "node failure"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// FaultError is a simulated infrastructure failure. It is retryable:
+// re-executing the task (on a recovered or different node) may succeed,
+// unlike a deterministic error from the task's own logic.
+type FaultError struct {
+	Kind    FaultKind
+	Node    int
+	Part    int
+	Attempt int
+}
+
+// Error implements the error interface.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("cluster: injected %v (node %d, partition %d, attempt %d)", e.Kind, e.Node, e.Part, e.Attempt)
+}
+
+// Retryable marks the fault as transient.
+func (e *FaultError) Retryable() bool { return true }
+
+// IsRetryable reports whether an error is transient, i.e. whether
+// re-running the failed task could succeed. Deterministic task errors
+// (bad routes, UDF failures) are not; injected infrastructure faults
+// are.
+func IsRetryable(err error) bool {
+	var r interface{ Retryable() bool }
+	return errors.As(err, &r) && r.Retryable()
+}
+
+// PartitionError tags a task error with the partition it came from, so
+// an aggregated query failure names every failing partition.
+type PartitionError struct {
+	Part int
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *PartitionError) Error() string { return fmt.Sprintf("partition %d: %v", e.Part, e.Err) }
+
+// Unwrap exposes the underlying task error to errors.Is/As.
+func (e *PartitionError) Unwrap() error { return e.Err }
+
+// RetryPolicy governs how partition tasks recover from transient
+// failures.
+type RetryPolicy struct {
+	// MaxAttempts bounds executions per task (1 = no retry).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff.
+	MaxBackoff time.Duration
+	// SpeculativeAfter, when positive, enables straggler mitigation:
+	// a task attempt that has not started user work after this delay is
+	// abandoned and immediately re-executed (modelling a speculative
+	// copy scheduled on a healthy node). Zero disables speculation.
+	SpeculativeAfter time.Duration
+}
+
+// DefaultRetryPolicy returns the policy clusters start with: a handful
+// of fast retries, no speculation.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 6,
+		BaseBackoff: 200 * time.Microsecond,
+		MaxBackoff:  5 * time.Millisecond,
+	}
+}
+
+// backoff returns the delay before the given retry attempt (attempt
+// numbering starts at 1 for the first retry).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// errStragglerAbandoned marks an attempt abandoned by speculation so
+// the retry driver re-executes immediately, without backoff.
+var errStragglerAbandoned = errors.New("cluster: straggler attempt abandoned")
+
+// sleepCtx sleeps for d unless the context ends first, reporting
+// whether the full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

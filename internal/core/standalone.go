@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 )
 
@@ -38,19 +39,38 @@ func (s Stats) String() string {
 // When left and right are the same slice (a self-join) and the join is
 // SymmetricSummarize, the summary is computed once and reused, matching
 // the self-join optimization of §VI-C.
-func RunStandalone(j Join, left, right []any, params []any, emit func(l, r any)) (Stats, error) {
-	var stats Stats
+func RunStandalone(j Join, left, right []any, params []any, emit func(l, r any)) (stats Stats, err error) {
 	stats.LeftRecords = len(left)
 	stats.RightRecords = len(right)
 
+	// Panic isolation: a panic anywhere in the user's join functions is
+	// converted into a structured *UDFError naming the phase and record
+	// being processed, exactly as the distributed executor does.
+	phase := "summarize"
+	record := -1
+	desc := j.Descriptor()
+	defer func() {
+		if p := recover(); p != nil {
+			err = &UDFError{
+				Join:      desc.Name,
+				Phase:     phase,
+				Partition: -1,
+				Record:    record,
+				Panic:     p,
+				Stack:     string(debug.Stack()),
+			}
+		}
+	}()
+
 	// SUMMARIZE: local aggregation (one "node"), then a trivial global
 	// merge with the identity summary so both aggregate paths execute.
-	desc := j.Descriptor()
 	summarize := func(side Side, data []any) Summary {
 		s := j.NewSummary(side)
-		for _, k := range data {
+		for i, k := range data {
+			record = i
 			s = j.LocalAggregate(side, k, s)
 		}
+		record = -1
 		return j.GlobalAggregate(side, s, j.NewSummary(side))
 	}
 	ls := summarize(Left, left)
@@ -63,12 +83,14 @@ func RunStandalone(j Join, left, right []any, params []any, emit func(l, r any))
 	}
 
 	// DIVIDE.
+	phase = "divide"
 	plan, err := j.Divide(ls, rs, params)
 	if err != nil {
 		return stats, fmt.Errorf("divide: %w", err)
 	}
 
 	// PARTITION: bucket both sides.
+	phase = "assign"
 	type entry struct {
 		key any
 		idx int
@@ -77,11 +99,13 @@ func RunStandalone(j Join, left, right []any, params []any, emit func(l, r any))
 		buckets := make(map[BucketID][]entry)
 		var ids []BucketID
 		for i, k := range data {
+			record = i
 			ids = j.Assign(side, k, plan, ids[:0])
 			for _, id := range ids {
 				buckets[id] = append(buckets[id], entry{key: k, idx: i})
 			}
 		}
+		record = -1
 		return buckets
 	}
 	lb := bucketize(Left, left)
@@ -90,6 +114,7 @@ func RunStandalone(j Join, left, right []any, params []any, emit func(l, r any))
 	stats.RightBuckets = len(rb)
 
 	// COMBINE: match buckets, verify pairs, handle duplicates.
+	phase = "combine"
 	elim := desc.Dedup == DedupElimination
 	var seen map[[2]int]struct{}
 	if elim {
@@ -137,6 +162,7 @@ func RunStandalone(j Join, left, right []any, params []any, emit func(l, r any))
 			return
 		}
 		for _, le := range les {
+			record = le.idx
 			for _, re := range res {
 				stats.Candidates++
 				if !j.Verify(b1, le.key, b2, re.key, plan) {

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,8 @@ type Database struct {
 	mode       JoinMode
 	smartTheta bool
 	builtins   map[string]BuiltinJoinFunc
+	faultCfg   *cluster.FaultConfig
+	retryPol   *cluster.RetryPolicy
 }
 
 // Open creates a database with the given options.
@@ -107,6 +110,25 @@ func (db *Database) SetCluster(cfg cluster.Config) error {
 // function name, used when the join mode is ModeBuiltin.
 func (db *Database) RegisterBuiltinJoin(name string, op BuiltinJoinFunc) {
 	db.builtins[name] = op
+}
+
+// SetFaultConfig arms fault injection for subsequent queries: every
+// query execution builds a fresh, deterministic injector from this
+// configuration, so the same query sees the same faults on every run.
+// A nil config disables injection.
+func (db *Database) SetFaultConfig(cfg *cluster.FaultConfig) {
+	if cfg == nil {
+		db.faultCfg = nil
+		return
+	}
+	c := *cfg
+	db.faultCfg = &c
+}
+
+// SetRetryPolicy overrides the cluster's task retry policy for
+// subsequent queries (backoff shape, attempt cap, speculation).
+func (db *Database) SetRetryPolicy(pol cluster.RetryPolicy) {
+	db.retryPol = &pol
 }
 
 // CreateDataset loads a dataset into the engine.
@@ -171,20 +193,40 @@ type Result struct {
 	BytesBroadcast  int64
 	MaxBusy         time.Duration // per-partition makespan (ideal hardware)
 	TotalBusy       time.Duration
+	// Fault-recovery counters for the execution (zero without injected
+	// faults): task re-executions, tasks that succeeded after retrying,
+	// straggler attempts abandoned for a speculative copy, and corrupted
+	// shuffle transfers healed by resending.
+	Retries           int64
+	Recovered         int64
+	Speculative       int64
+	CorruptionsHealed int64
 }
 
 // Execute parses and runs one statement. DDL statements return a
 // Result with a status row; SELECT returns the query output.
 func (db *Database) Execute(sql string) (*Result, error) {
+	return db.ExecuteContext(context.Background(), sql)
+}
+
+// ExecuteContext is Execute bounded by a context: cancelling it (or
+// exceeding its deadline) aborts in-flight cluster tasks and returns
+// the context's error.
+func (db *Database) ExecuteContext(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecuteStmt(stmt)
+	return db.ExecuteStmtContext(ctx, stmt)
 }
 
 // ExecuteStmt runs an already-parsed statement.
 func (db *Database) ExecuteStmt(stmt sqlparse.Statement) (*Result, error) {
+	return db.ExecuteStmtContext(context.Background(), stmt)
+}
+
+// ExecuteStmtContext runs an already-parsed statement under a context.
+func (db *Database) ExecuteStmtContext(ctx context.Context, stmt sqlparse.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparse.CreateJoin:
 		names := make([]string, len(s.Params))
@@ -215,7 +257,7 @@ func (db *Database) ExecuteStmt(stmt sqlparse.Statement) (*Result, error) {
 				Plan:   plan.explain(),
 			}, nil
 		}
-		res, err := db.run(plan)
+		res, err := db.run(ctx, plan)
 		if err != nil {
 			return nil, err
 		}

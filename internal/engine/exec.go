@@ -1,19 +1,31 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"fudj/internal/cluster"
+	"fudj/internal/core"
 	"fudj/internal/expr"
 	"fudj/internal/types"
 )
 
 // run executes a planned query on a fresh cluster instance.
-func (p *queryPlan) run(db *Database) (*Result, error) {
+func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 	start := time.Now()
 	clus := cluster.New(db.opts.Cluster)
+	clus.SetContext(ctx)
+	if db.retryPol != nil {
+		clus.SetRetryPolicy(*db.retryPol)
+	}
+	if db.faultCfg != nil {
+		// A fresh injector per query: fault decisions depend only on the
+		// seed and the fault site, so re-running the query replays the
+		// exact same failures.
+		clus.SetFaults(cluster.NewFaultInjector(*db.faultCfg))
+	}
 	counters := &statsCounters{}
 
 	// Scans with pushed-down filters.
@@ -39,13 +51,16 @@ func (p *queryPlan) run(db *Database) (*Result, error) {
 	cur := inputs[0]
 	curSchema := schemas[0]
 	for i, step := range p.joins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		right := inputs[i+1]
 		rightSchema := schemas[i+1]
 		outSchema := curSchema.Concat(rightSchema)
 		var err error
 		switch step.kind {
 		case joinFUDJ:
-			cur, err = db.runFUDJ(clus, counters, step.fudj, cur, curSchema, right, rightSchema, outSchema)
+			cur, err = db.runFUDJ(ctx, clus, counters, step.fudj, cur, curSchema, right, rightSchema, outSchema)
 		case joinBuiltin:
 			cur, err = db.runBuiltinJoin(clus, counters, step.fudj, cur, curSchema, right, rightSchema)
 		case joinHash:
@@ -73,6 +88,9 @@ func (p *queryPlan) run(db *Database) (*Result, error) {
 	}
 
 	// Residual filter.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(p.post) > 0 {
 		pred, err := expr.Compile(expr.JoinConjuncts(p.post), curSchema)
 		if err != nil {
@@ -113,21 +131,25 @@ func (p *queryPlan) run(db *Database) (*Result, error) {
 
 	m := clus.Metrics()
 	return &Result{
-		Schema:          p.outSchema,
-		Rows:            rows,
-		Plan:            p.explain(),
-		Elapsed:         time.Since(start),
-		Stats:           counters.snapshot(),
-		BytesShuffled:   m.BytesShuffled(),
-		RecordsShuffled: m.RecordsShuffled(),
-		BytesBroadcast:  m.BytesBroadcast(),
-		MaxBusy:         m.MaxBusy(),
-		TotalBusy:       m.TotalBusy(),
+		Schema:            p.outSchema,
+		Rows:              rows,
+		Plan:              p.explain(),
+		Elapsed:           time.Since(start),
+		Stats:             counters.snapshot(),
+		BytesShuffled:     m.BytesShuffled(),
+		RecordsShuffled:   m.RecordsShuffled(),
+		BytesBroadcast:    m.BytesBroadcast(),
+		MaxBusy:           m.MaxBusy(),
+		TotalBusy:         m.TotalBusy(),
+		Retries:           m.Retries(),
+		Recovered:         m.Recovered(),
+		Speculative:       m.Speculative(),
+		CorruptionsHealed: m.CorruptionsHealed(),
 	}, nil
 }
 
 // run is invoked from Database.ExecuteStmt.
-func (db *Database) run(p *queryPlan) (*Result, error) { return p.run(db) }
+func (db *Database) run(ctx context.Context, p *queryPlan) (*Result, error) { return p.run(ctx, db) }
 
 func filterData(clus *cluster.Cluster, data cluster.Data, pred expr.Evaluator) (cluster.Data, error) {
 	return clus.Run(data, func(_ int, in []types.Record) ([]types.Record, error) {
@@ -277,7 +299,7 @@ func runHashJoin(clus *cluster.Cluster, counters *statsCounters, step joinStep,
 // runBuiltinJoin dispatches to a registered hand-built operator.
 func (db *Database) runBuiltinJoin(clus *cluster.Cluster, counters *statsCounters, f *fudjStep,
 	left cluster.Data, leftSchema *types.Schema,
-	right cluster.Data, rightSchema *types.Schema) (cluster.Data, error) {
+	right cluster.Data, rightSchema *types.Schema) (out cluster.Data, err error) {
 
 	op, ok := db.builtins[f.def.Name]
 	if !ok {
@@ -291,7 +313,8 @@ func (db *Database) runBuiltinJoin(clus *cluster.Cluster, counters *statsCounter
 	if err != nil {
 		return nil, err
 	}
-	out, err := op(clus, left, lkey, right, rkey, f.params)
+	defer core.CatchPanic(f.def.Name, "builtin", -1, nil, &err)
+	out, err = op(clus, left, lkey, right, rkey, f.params)
 	if err != nil {
 		return nil, err
 	}

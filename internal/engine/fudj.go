@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -25,7 +26,7 @@ import (
 // columns, [bucket_id, key, fields...], so verify never recomputes key
 // expressions per candidate pair. Under DedupElimination a third
 // leading column carries a globally unique row id.
-func (db *Database) runFUDJ(clus *cluster.Cluster, counters *statsCounters, f *fudjStep,
+func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters *statsCounters, f *fudjStep,
 	left cluster.Data, leftSchema *types.Schema,
 	right cluster.Data, rightSchema *types.Schema, outSchema *types.Schema) (cluster.Data, error) {
 
@@ -48,33 +49,41 @@ func (db *Database) runFUDJ(clus *cluster.Cluster, counters *statsCounters, f *f
 	// ---- SUMMARIZE ----
 	phaseStart := time.Now()
 	summarize := func(side core.Side, data cluster.Data, key expr.Evaluator) (core.Summary, error) {
-		locals, err := cluster.RunValues(clus, data, func(_ int, in []types.Record) ([]byte, error) {
+		locals, err := cluster.RunValues(clus, data, func(part int, in []types.Record) (buf []byte, err error) {
+			rec := -1
+			defer core.CatchPanic(f.def.Name, "summarize", part, &rec, &err)
 			s := join.NewSummary(side)
-			for _, rec := range in {
-				v, err := key(rec)
+			for i, r := range in {
+				rec = i
+				v, err := key(r)
 				if err != nil {
 					return nil, err
 				}
 				s = join.LocalAggregate(side, v.Native(), s)
 			}
+			rec = -1
 			return join.EncodeSummary(s)
 		})
 		if err != nil {
 			return nil, err
 		}
 		// Ship the encoded local summaries to the coordinator, then
-		// merge them with the global aggregate.
+		// merge them with the global aggregate (guarded: the merge runs
+		// user code at the coordinator).
 		clus.GatherBytes(locals)
-		global := join.NewSummary(side)
-		for _, buf := range locals {
-			counters.stateBytes.Add(int64(len(buf)))
-			s, err := join.DecodeSummary(buf)
-			if err != nil {
-				return nil, err
+		return func() (global core.Summary, err error) {
+			defer core.CatchPanic(f.def.Name, "summarize", -1, nil, &err)
+			global = join.NewSummary(side)
+			for _, buf := range locals {
+				counters.stateBytes.Add(int64(len(buf)))
+				s, err := join.DecodeSummary(buf)
+				if err != nil {
+					return nil, err
+				}
+				global = join.GlobalAggregate(side, global, s)
 			}
-			global = join.GlobalAggregate(side, global, s)
-		}
-		return global, nil
+			return global, nil
+		}()
 	}
 
 	ls, err := summarize(core.Left, left, lkey)
@@ -92,20 +101,37 @@ func (db *Database) runFUDJ(clus *cluster.Cluster, counters *statsCounters, f *f
 	}
 
 	// ---- DIVIDE ----
-	plan, err := join.Divide(ls, rs, params)
-	if err != nil {
-		return nil, fmt.Errorf("fudj %s: divide: %w", f.def.Name, err)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	planBuf, err := join.EncodePlan(plan)
+	plan, planBuf, err := func() (plan core.PPlan, planBuf []byte, err error) {
+		defer core.CatchPanic(f.def.Name, "divide", -1, nil, &err)
+		plan, err = join.Divide(ls, rs, params)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fudj %s: divide: %w", f.def.Name, err)
+		}
+		planBuf, err = join.EncodePlan(plan)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fudj %s: encode plan: %w", f.def.Name, err)
+		}
+		return plan, planBuf, nil
+	}()
 	if err != nil {
-		return nil, fmt.Errorf("fudj %s: encode plan: %w", f.def.Name, err)
+		return nil, err
 	}
 	counters.stateBytes.Add(int64(len(planBuf)))
 	clus.Broadcast(planBuf)
 	// Every node decodes its own copy, as it would on a real cluster.
-	plan, err = join.DecodePlan(planBuf)
+	plan, err = func() (plan core.PPlan, err error) {
+		defer core.CatchPanic(f.def.Name, "divide", -1, nil, &err)
+		plan, err = join.DecodePlan(planBuf)
+		if err != nil {
+			return nil, fmt.Errorf("fudj %s: decode plan: %w", f.def.Name, err)
+		}
+		return plan, nil
+	}()
 	if err != nil {
-		return nil, fmt.Errorf("fudj %s: decode plan: %w", f.def.Name, err)
+		return nil, err
 	}
 
 	counters.summarize.Add(int64(time.Since(phaseStart)))
@@ -124,12 +150,17 @@ func (db *Database) runFUDJ(clus *cluster.Cluster, counters *statsCounters, f *f
 	if elimination || cacheAssign {
 		extraCols = 3
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	assign := func(side core.Side, data cluster.Data, key expr.Evaluator) (cluster.Data, error) {
-		return clus.Run(data, func(part int, in []types.Record) ([]types.Record, error) {
-			var out []types.Record
+		return clus.Run(data, func(part int, in []types.Record) (out []types.Record, err error) {
+			rec := -1
+			defer core.CatchPanic(f.def.Name, "assign", part, &rec, &err)
 			var ids []core.BucketID
-			for i, rec := range in {
-				v, err := key(rec)
+			for i, r := range in {
+				rec = i
+				v, err := key(r)
 				if err != nil {
 					return nil, err
 				}
@@ -146,12 +177,12 @@ func (db *Database) runFUDJ(clus *cluster.Cluster, counters *statsCounters, f *f
 					meta = types.NewList(list)
 				}
 				for _, id := range ids {
-					ext := make(types.Record, 0, extraCols+len(rec))
+					ext := make(types.Record, 0, extraCols+len(r))
 					ext = append(ext, types.NewInt64(int64(id)), v)
 					if extraCols == 3 {
 						ext = append(ext, meta)
 					}
-					out = append(out, append(ext, rec...))
+					out = append(out, append(ext, r...))
 				}
 			}
 			return out, nil
@@ -170,6 +201,9 @@ func (db *Database) runFUDJ(clus *cluster.Cluster, counters *statsCounters, f *f
 	phaseStart = time.Now()
 
 	// ---- COMBINE ----
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	applyDedup := desc.Dedup == core.DedupAvoidance || desc.Dedup == core.DedupCustom
 
 	// accept applies dedup to one verified candidate pair and appends
@@ -245,10 +279,10 @@ func (db *Database) runFUDJ(clus *cluster.Cluster, counters *statsCounters, f *f
 		if err != nil {
 			return nil, err
 		}
-		combined, err = clus.Run(lShuf, func(part int, in []types.Record) ([]types.Record, error) {
+		combined, err = clus.Run(lShuf, func(part int, in []types.Record) (out []types.Record, err error) {
+			defer core.CatchPanic(f.def.Name, "combine", part, nil, &err)
 			lBuckets := groupByBucket(in)
 			rBuckets := groupByBucket(rShuf[part])
-			var out []types.Record
 			for _, b := range sortedIDs(lBuckets) {
 				if rs, ok := rBuckets[b]; ok {
 					out = combineBuckets(out, b, lBuckets[b], b, rs)
@@ -282,12 +316,12 @@ func (db *Database) runFUDJ(clus *cluster.Cluster, counters *statsCounters, f *f
 		if err != nil {
 			return nil, err
 		}
-		combined, err = clus.Run(rRand, func(part int, in []types.Record) ([]types.Record, error) {
+		combined, err = clus.Run(rRand, func(part int, in []types.Record) (out []types.Record, err error) {
+			defer core.CatchPanic(f.def.Name, "combine", part, nil, &err)
 			lBuckets := groupByBucket(lRepl[part])
 			rBuckets := groupByBucket(in)
 			lIDs := sortedIDs(lBuckets)
 			rIDs := sortedIDs(rBuckets)
-			var out []types.Record
 			for _, b1 := range lIDs {
 				for _, b2 := range rIDs {
 					if !join.Match(b1, b2) {

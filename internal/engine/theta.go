@@ -63,11 +63,15 @@ func (db *Database) runSmartTheta(clus *cluster.Cluster, join core.Join,
 
 	// Parallel enumeration: matches[i] lists the right buckets matching
 	// lIDs[i]. MATCH implementations are required to be pure, so this
-	// fan-out is safe.
+	// fan-out is safe. Each worker runs under a panic guard — a MATCH
+	// panic in a bare goroutine would kill the whole process instead of
+	// failing the query.
+	name := join.Descriptor().Name
 	matches := make([][]int, len(lIDs))
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
 	chunk := (len(lIDs) + workers - 1) / workers
+	workerErrs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -78,8 +82,9 @@ func (db *Database) runSmartTheta(clus *cluster.Cluster, join core.Join,
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer core.CatchPanic(name, "match", -1, nil, &workerErrs[w])
 			for i := lo; i < hi; i++ {
 				for _, b2 := range rIDs {
 					if join.Match(lIDs[i], b2) {
@@ -87,9 +92,14 @@ func (db *Database) runSmartTheta(clus *cluster.Cluster, join core.Join,
 					}
 				}
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, werr := range workerErrs {
+		if werr != nil {
+			return nil, werr
+		}
+	}
 
 	// Greedy longest-processing-time assignment of left buckets. A hot
 	// bucket whose cost exceeds the per-partition fair share is split:
@@ -199,10 +209,10 @@ func (db *Database) runSmartTheta(clus *cluster.Cluster, join core.Join,
 	}
 
 	// Each partition joins its owned pairs.
-	return clus.Run(lRouted, func(part int, in []types.Record) ([]types.Record, error) {
+	return clus.Run(lRouted, func(part int, in []types.Record) (out []types.Record, err error) {
+		defer core.CatchPanic(name, "combine", part, nil, &err)
 		lBuckets := groupByBucket(in)
 		rBuckets := groupByBucket(rRouted[part])
-		var out []types.Record
 		for _, b1 := range sortedIDs(lBuckets) {
 			ls := lBuckets[b1]
 			for _, b2 := range ownedMatches[part][b1] {

@@ -1,0 +1,88 @@
+package intervaljoin
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fudj/internal/cluster"
+	"fudj/internal/engine"
+	"fudj/internal/interval"
+	"fudj/internal/types"
+)
+
+// TestChaosEquivalence runs the overlapping-interval join end-to-end
+// on a faulted cluster (crashes, a straggler node, shuffle corruption)
+// and requires the results to match a fault-free run exactly.
+func TestChaosEquivalence(t *testing.T) {
+	db := engine.MustOpen(engine.Options{Cluster: cluster.Config{Nodes: 3, CoresPerNode: 2}})
+	rng := rand.New(rand.NewSource(6))
+	schema := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt64},
+		types.Field{Name: "vendor", Kind: types.KindInt64},
+		types.Field{Name: "ride_interval", Kind: types.KindInterval},
+	)
+	var rides []types.Record
+	for i := 0; i < 90; i++ {
+		s := rng.Int63n(4000)
+		rides = append(rides, types.Record{
+			types.NewInt64(int64(i)),
+			types.NewInt64(1 + int64(rng.Intn(2))),
+			types.NewInterval(interval.Interval{Start: s, End: s + rng.Int63n(400)}),
+		})
+	}
+	if err := db.CreateDataset("rides", schema, rides); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InstallLibrary(Library()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(`CREATE JOIN overlapping_interval(a: interval, b: interval, n: int) RETURNS boolean AS "oip.IntervalJoin" AT intervaljoins`); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT n1.id, n2.id FROM rides n1, rides n2
+		WHERE n1.vendor = 1 AND n2.vendor = 2
+		  AND overlapping_interval(n1.ride_interval, n2.ride_interval, 50)`
+
+	clean, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Rows) == 0 {
+		t.Fatal("fault-free run produced no rows")
+	}
+
+	db.SetFaultConfig(&cluster.FaultConfig{
+		Seed:           5,
+		CrashProb:      0.2,
+		StragglerNodes: []int{0},
+		StragglerDelay: 10 * time.Millisecond,
+		CorruptProb:    0.05,
+	})
+	db.SetRetryPolicy(cluster.RetryPolicy{
+		MaxAttempts:      8,
+		BaseBackoff:      50 * time.Microsecond,
+		MaxBackoff:       time.Millisecond,
+		SpeculativeAfter: 2 * time.Millisecond,
+	})
+	chaos, err := db.Execute(q)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if chaos.Retries == 0 {
+		t.Error("no retries recorded under injected crashes")
+	}
+	if len(chaos.Rows) != len(clean.Rows) {
+		t.Fatalf("chaos run: %d rows, fault-free: %d", len(chaos.Rows), len(clean.Rows))
+	}
+	seen := make(map[string]int, len(clean.Rows))
+	for _, r := range clean.Rows {
+		seen[r.String()]++
+	}
+	for _, r := range chaos.Rows {
+		if seen[r.String()] == 0 {
+			t.Fatalf("chaos run produced row %s absent from the fault-free run", r)
+		}
+		seen[r.String()]--
+	}
+}

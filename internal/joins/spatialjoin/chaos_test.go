@@ -1,0 +1,102 @@
+package spatialjoin
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fudj/internal/cluster"
+	"fudj/internal/engine"
+	"fudj/internal/geo"
+	"fudj/internal/types"
+)
+
+// TestChaosEquivalence runs the spatial join end-to-end on a faulted
+// cluster and requires the results to match a fault-free run exactly.
+func TestChaosEquivalence(t *testing.T) {
+	newDB := func() *engine.Database {
+		db := engine.MustOpen(engine.Options{Cluster: cluster.Config{Nodes: 3, CoresPerNode: 2}})
+		rng := rand.New(rand.NewSource(4))
+		parksSchema := types.NewSchema(
+			types.Field{Name: "id", Kind: types.KindInt64},
+			types.Field{Name: "boundary", Kind: types.KindPolygon},
+		)
+		var parks []types.Record
+		for i := 0; i < 30; i++ {
+			x, y := rng.Float64()*80, rng.Float64()*80
+			w, h := rng.Float64()*10+1, rng.Float64()*10+1
+			poly := geo.NewPolygon([]geo.Point{
+				{X: x, Y: y}, {X: x + w, Y: y}, {X: x + w, Y: y + h}, {X: x, Y: y + h},
+			})
+			parks = append(parks, types.Record{types.NewInt64(int64(i)), types.NewPolygon(poly)})
+		}
+		if err := db.CreateDataset("parks", parksSchema, parks); err != nil {
+			t.Fatal(err)
+		}
+		firesSchema := types.NewSchema(
+			types.Field{Name: "id", Kind: types.KindInt64},
+			types.Field{Name: "location", Kind: types.KindPoint},
+		)
+		var fires []types.Record
+		for i := 0; i < 90; i++ {
+			fires = append(fires, types.Record{
+				types.NewInt64(int64(i)),
+				types.NewPoint(geo.Point{X: rng.Float64() * 90, Y: rng.Float64() * 90}),
+			})
+		}
+		if err := db.CreateDataset("fires", firesSchema, fires); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.InstallLibrary(Library()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Execute(`CREATE JOIN spatial_join(a: geometry, b: geometry, n: int) RETURNS boolean AS "pbsm.SpatialJoin" AT spatialjoins`); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	const q = `SELECT p.id, f.id FROM parks p, fires f WHERE spatial_join(p.boundary, f.location, 8)`
+
+	db := newDB()
+	clean, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Rows) == 0 {
+		t.Fatal("fault-free run produced no rows")
+	}
+
+	db.SetFaultConfig(&cluster.FaultConfig{
+		Seed:           2,
+		CrashProb:      0.2,
+		StragglerNodes: []int{1},
+		StragglerDelay: 10 * time.Millisecond,
+		CorruptProb:    0.05,
+	})
+	db.SetRetryPolicy(cluster.RetryPolicy{
+		MaxAttempts:      8,
+		BaseBackoff:      50 * time.Microsecond,
+		MaxBackoff:       time.Millisecond,
+		SpeculativeAfter: 2 * time.Millisecond,
+	})
+	chaos, err := db.Execute(q)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if chaos.Retries == 0 {
+		t.Error("no retries recorded under injected crashes")
+	}
+	if len(chaos.Rows) != len(clean.Rows) {
+		t.Fatalf("chaos run: %d rows, fault-free: %d", len(chaos.Rows), len(clean.Rows))
+	}
+	seen := make(map[string]int, len(clean.Rows))
+	for _, r := range clean.Rows {
+		seen[r.String()]++
+	}
+	for _, r := range chaos.Rows {
+		if seen[r.String()] == 0 {
+			t.Fatalf("chaos run produced row %s absent from the fault-free run", r)
+		}
+		seen[r.String()]--
+	}
+}

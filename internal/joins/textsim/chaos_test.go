@@ -1,0 +1,89 @@
+package textsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"fudj/internal/cluster"
+	"fudj/internal/engine"
+	"fudj/internal/types"
+)
+
+// TestChaosEquivalence runs the set-similarity join end-to-end on a
+// faulted cluster and requires the results to match a fault-free run.
+func TestChaosEquivalence(t *testing.T) {
+	db := engine.MustOpen(engine.Options{Cluster: cluster.Config{Nodes: 3, CoresPerNode: 2}})
+	rng := rand.New(rand.NewSource(8))
+	words := []string{"river", "scenic", "camping", "trail", "lake", "forest", "desert", "historic"}
+	schema := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt64},
+		types.Field{Name: "review", Kind: types.KindString},
+	)
+	var reviews []types.Record
+	for i := 0; i < 70; i++ {
+		n := 3 + rng.Intn(4)
+		ws := make([]string, n)
+		for j := range ws {
+			ws[j] = words[rng.Intn(len(words))]
+		}
+		reviews = append(reviews, types.Record{
+			types.NewInt64(int64(i)),
+			types.NewString(strings.Join(ws, " ")),
+		})
+	}
+	if err := db.CreateDataset("reviews", schema, reviews); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InstallLibrary(Library()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(`CREATE JOIN text_similarity_join(a: string, b: string, t: double) RETURNS boolean AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins`); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT r1.id, r2.id FROM reviews r1, reviews r2
+		WHERE r1.id < r2.id AND text_similarity_join(r1.review, r2.review, 0.7)`
+
+	clean, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Rows) == 0 {
+		t.Fatal("fault-free run produced no rows")
+	}
+
+	db.SetFaultConfig(&cluster.FaultConfig{
+		Seed:           3,
+		CrashProb:      0.2,
+		StragglerNodes: []int{2},
+		StragglerDelay: 10 * time.Millisecond,
+		CorruptProb:    0.05,
+	})
+	db.SetRetryPolicy(cluster.RetryPolicy{
+		MaxAttempts:      8,
+		BaseBackoff:      50 * time.Microsecond,
+		MaxBackoff:       time.Millisecond,
+		SpeculativeAfter: 2 * time.Millisecond,
+	})
+	chaos, err := db.Execute(q)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if chaos.Retries == 0 {
+		t.Error("no retries recorded under injected crashes")
+	}
+	if len(chaos.Rows) != len(clean.Rows) {
+		t.Fatalf("chaos run: %d rows, fault-free: %d", len(chaos.Rows), len(clean.Rows))
+	}
+	seen := make(map[string]int, len(clean.Rows))
+	for _, r := range clean.Rows {
+		seen[r.String()]++
+	}
+	for _, r := range chaos.Rows {
+		if seen[r.String()] == 0 {
+			t.Fatalf("chaos run produced row %s absent from the fault-free run", r)
+		}
+		seen[r.String()]--
+	}
+}

@@ -152,6 +152,12 @@ func DecodeRecords(buf []byte) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A corrupted header can claim an absurd record count; every record
+	// needs at least one byte, so reject counts the buffer cannot hold
+	// before allocating for them.
+	if n > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("types: record batch claims %d records but only %d bytes follow", n, d.Remaining())
+	}
 	out := make([]Record, n)
 	for i := range out {
 		if out[i], err = DecodeRecord(d); err != nil {
