@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos ci
+.PHONY: all vet build test race chaos fuzz ci
 
 all: build
 
@@ -18,12 +18,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# chaos runs the fault-tolerance suite under the race detector:
+# chaos runs the degraded-execution suite under the race detector:
 # deterministic fault injection (crashes, a straggler node, shuffle
-# corruption), cancellation/deadline handling, and UDF panic isolation.
+# corruption), cancellation/deadline handling, UDF panic isolation,
+# and memory-bounded execution (spill, backpressure, skew splits).
 chaos:
-	$(GO) test -race -run 'Chaos|Fault|Retry|Straggler|Corrupt|Deadline|Cancel|UDFPanic|StandalonePanic' \
-		./internal/cluster/ ./internal/core/ ./internal/engine/ \
+	$(GO) test -race -run 'Chaos|Fault|Retry|Straggler|Corrupt|Deadline|Cancel|UDFPanic|StandalonePanic|Bounded|Memory|Spill|ResourceError|BucketSplit|Backpressure' \
+		./internal/cluster/ ./internal/core/ ./internal/engine/ ./internal/storage/ \
 		./internal/joins/spatialjoin/ ./internal/joins/textsim/ ./internal/joins/intervaljoin/
+
+# fuzz smoke-runs every native fuzz target briefly. The committed
+# corpora under testdata/fuzz/ also run as regression seeds in plain
+# `go test`, so CI covers them even without this target.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecodeRecords -fuzztime $(FUZZTIME) ./internal/types/
+	$(GO) test -run xxx -fuzz FuzzMemSize -fuzztime $(FUZZTIME) ./internal/types/
+	$(GO) test -run xxx -fuzz FuzzDecoder -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzUvarintCountBound -fuzztime $(FUZZTIME) ./internal/wire/
 
 ci: vet build race chaos

@@ -2,6 +2,7 @@ package fudj
 
 import (
 	"fudj/internal/cluster"
+	"fudj/internal/core"
 	"fudj/internal/engine"
 )
 
@@ -50,6 +51,11 @@ type FaultError = cluster.FaultError
 
 // PartitionError tags a task failure with its partition id.
 type PartitionError = cluster.PartitionError
+
+// ResourceError reports a query that cannot run within its memory
+// budget even after spilling (a single record exceeded the hard cap).
+// It is deterministic, so the retry machinery does not re-run it.
+type ResourceError = core.ResourceError
 
 // Open creates a database.
 func Open(opts Options) (*DB, error) { return engine.Open(opts) }

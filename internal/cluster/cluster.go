@@ -54,11 +54,18 @@ func (d Data) Rows() int {
 	return n
 }
 
-// Flatten concatenates all partitions (used at query output).
+// Flatten concatenates all partitions (used at query output). The
+// result is sized once via Rows() and filled with copy, so the
+// result-collection hot path never regrows the slice.
 func (d Data) Flatten() []types.Record {
-	out := make([]types.Record, 0, d.Rows())
+	n := d.Rows()
+	if n == 0 {
+		return nil
+	}
+	out := make([]types.Record, n)
+	off := 0
 	for _, p := range d {
-		out = append(out, p...)
+		off += copy(out[off:], p)
 	}
 	return out
 }
@@ -75,6 +82,70 @@ type Metrics struct {
 	recovered      int64
 	speculative    int64
 	corruptHealed  int64
+
+	// Memory-bounded execution counters (zero without a budget).
+	curMemory    int64 // budget-tracked bytes currently reserved
+	peakMemory   int64 // high-water mark of curMemory
+	peakInput    int64 // largest materialized per-partition input
+	bytesSpilled int64
+	spillRuns    int64
+	bucketsSplit int64
+	backpressure int64 // sender stalls + forced chunk splits
+}
+
+// Snapshot is a consistent copy of every counter, taken under one
+// lock acquisition so a mid-query read cannot mix epochs across
+// counters (e.g. observe a retry without its task).
+type Snapshot struct {
+	BytesShuffled   int64
+	RecordsShuffled int64
+	BytesBroadcast  int64
+	MaxBusy         time.Duration
+	TotalBusy       time.Duration
+	Tasks           int64
+	Retries         int64
+	Recovered       int64
+	Speculative     int64
+	CorruptHealed   int64
+
+	PeakMemory   int64
+	PeakInput    int64
+	BytesSpilled int64
+	SpillRuns    int64
+	BucketsSplit int64
+	Backpressure int64
+}
+
+// Snapshot reads all counters atomically with respect to writers: one
+// lock pass, so every field belongs to the same instant.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var maxBusy, totalBusy time.Duration
+	for _, b := range m.busy {
+		totalBusy += b
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	return Snapshot{
+		BytesShuffled:   m.bytesShuffled,
+		RecordsShuffled: m.recsShuffled,
+		BytesBroadcast:  m.bytesBroadcast,
+		MaxBusy:         maxBusy,
+		TotalBusy:       totalBusy,
+		Tasks:           m.tasks,
+		Retries:         m.retries,
+		Recovered:       m.recovered,
+		Speculative:     m.speculative,
+		CorruptHealed:   m.corruptHealed,
+		PeakMemory:      m.peakMemory,
+		PeakInput:       m.peakInput,
+		BytesSpilled:    m.bytesSpilled,
+		SpillRuns:       m.spillRuns,
+		BucketsSplit:    m.bucketsSplit,
+		Backpressure:    m.backpressure,
+	}
 }
 
 func newMetrics(parts int) *Metrics {
@@ -210,16 +281,115 @@ func (m *Metrics) addCorruptHealed() {
 	m.mu.Unlock()
 }
 
+// PeakMemory returns the high-water mark of budget-tracked memory
+// (shuffle inboxes plus COMBINE build structures).
+func (m *Metrics) PeakMemory() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peakMemory
+}
+
+// PeakInput returns the largest materialized per-partition input
+// observed (tracked only when a budget is set).
+func (m *Metrics) PeakInput() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peakInput
+}
+
+// BytesSpilled returns the bytes written to disk spill runs.
+func (m *Metrics) BytesSpilled() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesSpilled
+}
+
+// SpillRuns returns the number of spill runs written to disk.
+func (m *Metrics) SpillRuns() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spillRuns
+}
+
+// BucketsSplit returns how many spilled buckets were skew-split into
+// sub-builds because their build side alone exceeded the budget.
+func (m *Metrics) BucketsSplit() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bucketsSplit
+}
+
+// Backpressure returns how often senders stalled for inbox credit or
+// had to split a batch to fit a receive window.
+func (m *Metrics) Backpressure() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.backpressure
+}
+
+// ReserveMemory charges bytes against the budget-tracked gauge and
+// records the new high-water mark. The engine calls this for COMBINE
+// build structures; the shuffle inboxes use it internally.
+func (m *Metrics) ReserveMemory(bytes int64) { m.reserveMemory(bytes) }
+
+// ReleaseMemory returns bytes to the budget-tracked gauge.
+func (m *Metrics) ReleaseMemory(bytes int64) { m.releaseMemory(bytes) }
+
+// AddSpill records one or more spill runs written to disk.
+func (m *Metrics) AddSpill(bytes, runs int64) {
+	m.mu.Lock()
+	m.bytesSpilled += bytes
+	m.spillRuns += runs
+	m.mu.Unlock()
+}
+
+// AddBucketSplit records one skew-split spilled bucket.
+func (m *Metrics) AddBucketSplit() {
+	m.mu.Lock()
+	m.bucketsSplit++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) reserveMemory(bytes int64) {
+	m.mu.Lock()
+	m.curMemory += bytes
+	if m.curMemory > m.peakMemory {
+		m.peakMemory = m.curMemory
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) releaseMemory(bytes int64) {
+	m.mu.Lock()
+	m.curMemory -= bytes
+	m.mu.Unlock()
+}
+
+func (m *Metrics) notePartitionInput(bytes int64) {
+	m.mu.Lock()
+	if bytes > m.peakInput {
+		m.peakInput = bytes
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addBackpressure() {
+	m.mu.Lock()
+	m.backpressure++
+	m.mu.Unlock()
+}
+
 // Cluster is one simulated deployment. It is safe for a single query
 // at a time; the engine creates one per query execution so metrics are
 // per-query.
 type Cluster struct {
-	cfg     Config
-	metrics *Metrics
-	faults  *FaultInjector
-	retry   RetryPolicy
-	qctx    context.Context
-	epoch   atomic.Int64
+	cfg       Config
+	metrics   *Metrics
+	faults    *FaultInjector
+	retry     RetryPolicy
+	qctx      context.Context
+	epoch     atomic.Int64
+	memBudget int64 // total bytes across all partitions; 0 = unbounded
 }
 
 // New builds a cluster, panicking on invalid configuration (a harness
@@ -283,12 +453,19 @@ func (c *Cluster) NodeOf(part int) int { return part / c.cfg.CoresPerNode }
 func (c *Cluster) NewData() Data { return make(Data, c.Partitions()) }
 
 // Scatter distributes records round-robin over all partitions — the
-// initial load placement of a dataset.
+// initial load placement of a dataset. Under a memory budget the
+// per-partition input footprint is tracked (observability, not
+// enforcement: base data placement is the storage layer's concern).
 func (c *Cluster) Scatter(recs []types.Record) Data {
 	data := c.NewData()
 	p := c.Partitions()
 	for i, r := range recs {
 		data[i%p] = append(data[i%p], r)
+	}
+	if c.memBudget > 0 {
+		for _, part := range data {
+			c.metrics.notePartitionInput(types.RecordsMemSize(part))
+		}
 	}
 	return data
 }
@@ -549,7 +726,17 @@ func (c *Cluster) Replicate(data Data) (Data, error) {
 // (injected, or a genuine decode failure) is resent from the source's
 // still-intact outbox up to the retry policy's attempt budget; every
 // transfer, including resends, is charged to the shuffle counters.
+// Under a memory budget, delivery runs through bounded, backpressured
+// inboxes instead (see memory.go); without one this sequential path
+// is byte-for-byte the pre-budget behavior.
 func (c *Cluster) deliver(outbox [][][]types.Record) (Data, error) {
+	if c.memBudget > 0 {
+		return c.deliverBounded(outbox)
+	}
+	return c.deliverSequential(outbox)
+}
+
+func (c *Cluster) deliverSequential(outbox [][][]types.Record) (Data, error) {
 	p := c.Partitions()
 	ctx := c.context()
 	fi := c.faults

@@ -40,6 +40,38 @@ func (e *UDFError) Error() string {
 	return fmt.Sprintf("fudj %s: panic in %s (%s): %v", e.Join, e.Phase, loc, e.Panic)
 }
 
+// ResourceError reports that a query exceeded its memory budget beyond
+// what graceful degradation (spilling, bucket splitting) can absorb —
+// e.g. a single record larger than a partition's hard cap. It is
+// deterministic (re-running the task would hit the same wall), so the
+// executor fails the query instead of retrying.
+type ResourceError struct {
+	// Join is the join algorithm name, or "" outside a join.
+	Join string
+	// Phase is the pipeline phase that hit the cap, e.g. "combine".
+	Phase string
+	// Partition is the partition whose task exceeded its budget, or -1.
+	Partition int
+	// Bytes is the allocation size that broke the cap.
+	Bytes int64
+	// Budget is the per-partition hard cap in force.
+	Budget int64
+}
+
+// Error implements the error interface.
+func (e *ResourceError) Error() string {
+	loc := "coordinator"
+	if e.Partition >= 0 {
+		loc = fmt.Sprintf("partition %d", e.Partition)
+	}
+	join := e.Join
+	if join == "" {
+		join = "query"
+	}
+	return fmt.Sprintf("fudj %s: memory budget exceeded in %s (%s): need %d bytes, hard cap %d",
+		join, e.Phase, loc, e.Bytes, e.Budget)
+}
+
 // CatchPanic is a deferred guard converting a panic inside user-defined
 // join code into a structured *UDFError assigned to *err. record may be
 // nil (not record-scoped) or point at a loop variable the caller keeps

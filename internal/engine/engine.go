@@ -59,6 +59,7 @@ type Database struct {
 	builtins   map[string]BuiltinJoinFunc
 	faultCfg   *cluster.FaultConfig
 	retryPol   *cluster.RetryPolicy
+	memBudget  int64
 }
 
 // Open creates a database with the given options.
@@ -131,6 +132,25 @@ func (db *Database) SetRetryPolicy(pol cluster.RetryPolicy) {
 	db.retryPol = &pol
 }
 
+// SetMemoryBudget bounds the transient memory of subsequent queries to
+// the given total bytes, split evenly over partitions. Under a budget,
+// shuffle inboxes are credit-bounded (senders block instead of
+// buffering without limit) and COMBINE hash builds that exceed their
+// partition's share spill bucket runs to disk and re-join them
+// hybrid-hash style, skew-splitting buckets too large to ever fit. A
+// record larger than the per-partition hard cap (2x the share) fails
+// the query with a structured *core.ResourceError. Zero or negative
+// disables bounding; unbounded execution is byte-for-byte unchanged.
+func (db *Database) SetMemoryBudget(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	db.memBudget = bytes
+}
+
+// MemoryBudget reports the configured per-query budget (0 = unbounded).
+func (db *Database) MemoryBudget() int64 { return db.memBudget }
+
 // CreateDataset loads a dataset into the engine.
 func (db *Database) CreateDataset(name string, schema *types.Schema, recs []types.Record) error {
 	return db.catalog.CreateDataset(name, schema, recs)
@@ -201,6 +221,20 @@ type Result struct {
 	Recovered         int64
 	Speculative       int64
 	CorruptionsHealed int64
+	// Memory-bounding counters (zero when no budget is set). PeakMemory
+	// is the high-water mark of budget-governed transient memory (inbox
+	// credit plus COMBINE builds) and never exceeds the budget; PeakInput
+	// is the largest materialized partition input, reported for sizing
+	// budgets. BytesSpilled/SpillRuns count COMBINE spill traffic,
+	// BucketsSplit counts skew splits of over-budget buckets, and
+	// Backpressure counts sender stalls and chunked transfers on bounded
+	// shuffle inboxes.
+	PeakMemory   int64
+	PeakInput    int64
+	BytesSpilled int64
+	SpillRuns    int64
+	BucketsSplit int64
+	Backpressure int64
 }
 
 // Execute parses and runs one statement. DDL statements return a

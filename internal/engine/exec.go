@@ -28,6 +28,21 @@ func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 	}
 	counters := &statsCounters{}
 
+	// Memory-bounded execution: split the query budget over partitions,
+	// bound the shuffle inboxes, and stand up the spill directory the
+	// COMBINE phases degrade into when a build exceeds its share.
+	var mem *memState
+	if db.memBudget > 0 {
+		clus.SetMemoryBudget(db.memBudget)
+		var cleanup func()
+		var err error
+		mem, cleanup, err = newMemState(clus)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+	}
+
 	// Scans with pushed-down filters.
 	inputs := make([]cluster.Data, len(p.scans))
 	schemas := make([]*types.Schema, len(p.scans))
@@ -60,7 +75,7 @@ func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 		var err error
 		switch step.kind {
 		case joinFUDJ:
-			cur, err = db.runFUDJ(ctx, clus, counters, step.fudj, cur, curSchema, right, rightSchema, outSchema)
+			cur, err = db.runFUDJ(ctx, clus, counters, mem, step.fudj, cur, curSchema, right, rightSchema, outSchema)
 		case joinBuiltin:
 			cur, err = db.runBuiltinJoin(clus, counters, step.fudj, cur, curSchema, right, rightSchema)
 		case joinHash:
@@ -129,22 +144,30 @@ func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 		rows = rows[:p.limit]
 	}
 
-	m := clus.Metrics()
+	// One consistent snapshot of every cluster counter (a field-by-field
+	// read could mix epochs if anything were still in flight).
+	m := clus.Metrics().Snapshot()
 	return &Result{
 		Schema:            p.outSchema,
 		Rows:              rows,
 		Plan:              p.explain(),
 		Elapsed:           time.Since(start),
 		Stats:             counters.snapshot(),
-		BytesShuffled:     m.BytesShuffled(),
-		RecordsShuffled:   m.RecordsShuffled(),
-		BytesBroadcast:    m.BytesBroadcast(),
-		MaxBusy:           m.MaxBusy(),
-		TotalBusy:         m.TotalBusy(),
-		Retries:           m.Retries(),
-		Recovered:         m.Recovered(),
-		Speculative:       m.Speculative(),
-		CorruptionsHealed: m.CorruptionsHealed(),
+		BytesShuffled:     m.BytesShuffled,
+		RecordsShuffled:   m.RecordsShuffled,
+		BytesBroadcast:    m.BytesBroadcast,
+		MaxBusy:           m.MaxBusy,
+		TotalBusy:         m.TotalBusy,
+		Retries:           m.Retries,
+		Recovered:         m.Recovered,
+		Speculative:       m.Speculative,
+		CorruptionsHealed: m.CorruptHealed,
+		PeakMemory:        m.PeakMemory,
+		PeakInput:         m.PeakInput,
+		BytesSpilled:      m.BytesSpilled,
+		SpillRuns:         m.SpillRuns,
+		BucketsSplit:      m.BucketsSplit,
+		Backpressure:      m.Backpressure,
 	}, nil
 }
 

@@ -26,7 +26,7 @@ import (
 // columns, [bucket_id, key, fields...], so verify never recomputes key
 // expressions per candidate pair. Under DedupElimination a third
 // leading column carries a globally unique row id.
-func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters *statsCounters, f *fudjStep,
+func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters *statsCounters, mem *memState, f *fudjStep,
 	left cluster.Data, leftSchema *types.Schema,
 	right cluster.Data, rightSchema *types.Schema, outSchema *types.Schema) (cluster.Data, error) {
 
@@ -281,6 +281,12 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		}
 		combined, err = clus.Run(lShuf, func(part int, in []types.Record) (out []types.Record, err error) {
 			defer core.CatchPanic(f.def.Name, "combine", part, nil, &err)
+			if mem != nil {
+				// Memory-bounded hash build: resident buckets join
+				// immediately, oversized ones spill and re-join.
+				return boundedCombine(mem, f.def.Name, part, in, rShuf[part],
+					func(b2 int, _ []int) []int { return []int{b2} }, combineBuckets)
+			}
 			lBuckets := groupByBucket(in)
 			rBuckets := groupByBucket(rShuf[part])
 			for _, b := range sortedIDs(lBuckets) {
@@ -299,7 +305,7 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		// counts, enumerates the bucket pairs MATCH accepts, assigns
 		// each pair to a partition by greedy cost balancing, and records
 		// travel only to partitions owning pairs that need them.
-		combined, err = db.runSmartTheta(clus, join, combineBuckets, lAssigned, rAssigned)
+		combined, err = db.runSmartTheta(clus, mem, join, combineBuckets, lAssigned, rAssigned)
 		if err != nil {
 			return nil, err
 		}
@@ -318,6 +324,27 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		}
 		combined, err = clus.Run(rRand, func(part int, in []types.Record) (out []types.Record, err error) {
 			defer core.CatchPanic(f.def.Name, "combine", part, nil, &err)
+			if mem != nil {
+				// Memory-bounded theta match table: the broadcast (build)
+				// side is budget-governed; MATCH decisions are memoized
+				// per probe bucket so the call count matches the
+				// unbounded pairwise sweep.
+				matchCache := make(map[int][]int)
+				matcher := func(b2 int, buildIDs []int) []int {
+					if m, ok := matchCache[b2]; ok {
+						return m
+					}
+					var m []int
+					for _, b1 := range buildIDs {
+						if join.Match(b1, b2) {
+							m = append(m, b1)
+						}
+					}
+					matchCache[b2] = m
+					return m
+				}
+				return boundedCombine(mem, f.def.Name, part, lRepl[part], in, matcher, combineBuckets)
+			}
 			lBuckets := groupByBucket(lRepl[part])
 			rBuckets := groupByBucket(in)
 			lIDs := sortedIDs(lBuckets)

@@ -1,0 +1,367 @@
+// Memory-bounded COMBINE: hybrid-hash processing of bucket pairs under
+// a per-partition byte budget. The build side's bucket groups are the
+// memory the budget governs; buckets that fit stay resident and join
+// against streamed probe records immediately, buckets that do not are
+// evicted to disk spill runs and re-joined afterwards. A spilled
+// bucket whose build side alone exceeds the budget is skew-split into
+// chunks that fit, each chunk joined against a re-scan of the bucket's
+// probe run, so even a single pathological hot bucket degrades to
+// multiple passes instead of an unbounded allocation. A single record
+// larger than the hard cap is the one irreducible case, surfaced as a
+// structured *core.ResourceError rather than an OOM kill.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"fudj/internal/cluster"
+	"fudj/internal/core"
+	"fudj/internal/storage"
+	"fudj/internal/types"
+)
+
+func isEOF(err error) bool { return errors.Is(err, io.EOF) }
+
+// memState carries one query's memory-bounding configuration. A nil
+// *memState disables bounding (the pre-budget code paths run
+// unchanged).
+type memState struct {
+	perPart int64  // per-partition build budget in bytes
+	hardCap int64  // absolute per-partition cap; exceeding it fails the query
+	dir     string // spill directory, removed when the query ends
+	metrics *cluster.Metrics
+}
+
+// newMemState derives per-partition limits from the query budget and
+// creates the query's spill directory. The returned cleanup removes
+// the directory and everything spilled into it.
+func newMemState(clus *cluster.Cluster) (*memState, func(), error) {
+	perPart := clus.PartitionBudget()
+	if perPart <= 0 {
+		return nil, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "fudj-spill-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: create spill dir: %w", err)
+	}
+	m := &memState{
+		perPart: perPart,
+		hardCap: 2 * perPart,
+		dir:     dir,
+		metrics: clus.Metrics(),
+	}
+	return m, func() { os.RemoveAll(dir) }, nil
+}
+
+// combineFn joins one matched bucket pair, appending joined records —
+// the combineBuckets closure runFUDJ builds over VERIFY/LocalJoin and
+// duplicate handling.
+type combineFn func(out []types.Record, b1 int, ls []types.Record, b2 int, rs []types.Record) []types.Record
+
+// partAcct tracks one partition task's budget-charged bytes, mirroring
+// every reservation into the cluster-wide gauge so PeakMemory is
+// observable. close releases anything still held (so an aborted task —
+// e.g. a UDF panic — cannot leak tracked memory).
+type partAcct struct {
+	metrics *cluster.Metrics
+	used    int64
+}
+
+func (a *partAcct) reserve(n int64) {
+	a.used += n
+	a.metrics.ReserveMemory(n)
+}
+
+func (a *partAcct) release(n int64) {
+	a.used -= n
+	a.metrics.ReleaseMemory(n)
+}
+
+func (a *partAcct) close() {
+	if a.used != 0 {
+		a.metrics.ReleaseMemory(a.used)
+		a.used = 0
+	}
+}
+
+// bucketSpill is one spilled bucket: its build-side run and the probe
+// records destined for it.
+type bucketSpill struct {
+	left  *storage.RunWriter
+	right *storage.RunWriter
+}
+
+// boundedCombine is the memory-bounded counterpart of the per-partition
+// COMBINE loops in fudj.go / theta.go. build and probe are the
+// partition's two inputs with the bucket id in column 0; matcher lists
+// the build buckets a probe bucket joins with (build buckets absent
+// from this partition are skipped). Output is the same multiset of
+// joined records as the unbounded path, in a (deterministic) different
+// order.
+func boundedCombine(mem *memState, joinName string, part int,
+	build, probe []types.Record,
+	matcher func(probeBucket int, buildIDs []int) []int,
+	combine combineFn) (out []types.Record, err error) {
+
+	acct := &partAcct{metrics: mem.metrics}
+	defer acct.close()
+	spilled := make(map[int]*bucketSpill)
+	defer func() {
+		for _, bs := range spilled {
+			bs.left.Remove()
+			bs.right.Remove()
+		}
+	}()
+
+	newSpill := func() (*bucketSpill, error) {
+		left, err := storage.NewRunWriter(mem.dir)
+		if err != nil {
+			return nil, err
+		}
+		right, err := storage.NewRunWriter(mem.dir)
+		if err != nil {
+			left.Remove()
+			return nil, err
+		}
+		return &bucketSpill{left: left, right: right}, nil
+	}
+
+	// ---- build pass: group the build side under the budget ----
+	resident := make(map[int][]types.Record)
+	residentBytes := make(map[int]int64)
+	evict := func(b int) error {
+		bs, err := newSpill()
+		if err != nil {
+			return err
+		}
+		if err := bs.left.Append(resident[b]...); err != nil {
+			return err
+		}
+		spilled[b] = bs
+		acct.release(residentBytes[b])
+		delete(resident, b)
+		delete(residentBytes, b)
+		return nil
+	}
+	for _, r := range build {
+		b := int(r[0].Int64())
+		sz := r.MemSize()
+		if sz > mem.hardCap {
+			return nil, &core.ResourceError{
+				Join: joinName, Phase: "combine", Partition: part,
+				Bytes: sz, Budget: mem.hardCap,
+			}
+		}
+		if bs := spilled[b]; bs != nil {
+			if err := bs.left.Append(r); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Evict the largest resident buckets until the record fits.
+		for acct.used+sz > mem.perPart && len(resident) > 0 {
+			if err := evict(largestBucket(residentBytes)); err != nil {
+				return nil, err
+			}
+		}
+		if bs := spilled[b]; bs != nil {
+			// The record's own bucket was just evicted; follow it.
+			if err := bs.left.Append(r); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if acct.used+sz > mem.perPart {
+			// Nothing left to evict: the record alone exceeds the budget
+			// (but not the hard cap). Spill its bucket directly.
+			bs, err := newSpill()
+			if err != nil {
+				return nil, err
+			}
+			if err := bs.left.Append(r); err != nil {
+				return nil, err
+			}
+			spilled[b] = bs
+			continue
+		}
+		acct.reserve(sz)
+		resident[b] = append(resident[b], r)
+		residentBytes[b] += sz
+	}
+
+	buildIDs := make([]int, 0, len(resident)+len(spilled))
+	for b := range resident {
+		buildIDs = append(buildIDs, b)
+	}
+	for b := range spilled {
+		buildIDs = append(buildIDs, b)
+	}
+	sort.Ints(buildIDs)
+
+	// ---- probe pass: stream probe records against resident buckets,
+	// route the rest to their bucket's probe run ----
+	for _, r := range probe {
+		b2 := int(r[0].Int64())
+		for _, b1 := range matcher(b2, buildIDs) {
+			if ls, ok := resident[b1]; ok {
+				out = combine(out, b1, ls, b2, []types.Record{r})
+			} else if bs := spilled[b1]; bs != nil {
+				if err := bs.right.Append(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// ---- spilled pass: re-join each spilled bucket hybrid-hash style ----
+	spilledIDs := make([]int, 0, len(spilled))
+	for b := range spilled {
+		spilledIDs = append(spilledIDs, b)
+	}
+	sort.Ints(spilledIDs)
+	for _, b1 := range spilledIDs {
+		bs := spilled[b1]
+		if err := bs.left.Close(); err != nil {
+			return nil, err
+		}
+		if err := bs.right.Close(); err != nil {
+			return nil, err
+		}
+		runs := int64(1)
+		if bs.right.Records() > 0 {
+			runs = 2
+		}
+		mem.metrics.AddSpill(bs.left.Bytes()+bs.right.Bytes(), runs)
+		if bs.right.Records() == 0 {
+			continue // no probe record matched this bucket
+		}
+		out, err = joinSpilledBucket(mem, acct, out, b1, bs, combine)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// joinSpilledBucket re-joins one spilled bucket: build-side records are
+// loaded in budget-sized chunks (skew splitting — one chunk when the
+// bucket fits, several when its build side alone exceeds the budget),
+// and the bucket's probe run is re-streamed against every chunk.
+func joinSpilledBucket(mem *memState, acct *partAcct, out []types.Record,
+	b1 int, bs *bucketSpill, combine combineFn) ([]types.Record, error) {
+
+	lr, err := storage.OpenRun(bs.left.Path())
+	if err != nil {
+		return nil, err
+	}
+	defer lr.Close()
+	cur := newRunCursor(lr)
+	chunks := 0
+	for {
+		// Accumulate the next build chunk under the budget (always at
+		// least one record, so progress is guaranteed).
+		var ls []types.Record
+		var lsBytes int64
+		for {
+			r, ok, err := cur.peek()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			sz := r.MemSize()
+			if len(ls) > 0 && lsBytes+sz > mem.perPart {
+				break
+			}
+			cur.advance()
+			ls = append(ls, r)
+			lsBytes += sz
+		}
+		if len(ls) == 0 {
+			break
+		}
+		chunks++
+		acct.reserve(lsBytes)
+		err := func() error {
+			defer acct.release(lsBytes)
+			rr, err := storage.OpenRun(bs.right.Path())
+			if err != nil {
+				return err
+			}
+			defer rr.Close()
+			for {
+				frame, err := rr.Next()
+				if err != nil {
+					if isEOF(err) {
+						return nil
+					}
+					return err
+				}
+				for _, r := range frame {
+					b2 := int(r[0].Int64())
+					out = combine(out, b1, ls, b2, []types.Record{r})
+				}
+			}
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if chunks > 1 {
+		mem.metrics.AddBucketSplit()
+	}
+	return out, nil
+}
+
+// runCursor adapts a frame-oriented RunReader into a record-at-a-time
+// cursor, so chunk boundaries can fall inside a frame.
+type runCursor struct {
+	r     *storage.RunReader
+	frame []types.Record
+	pos   int
+	eof   bool
+}
+
+func newRunCursor(r *storage.RunReader) *runCursor { return &runCursor{r: r} }
+
+// peek returns the next record without consuming it. ok is false at
+// end of run.
+func (c *runCursor) peek() (types.Record, bool, error) {
+	for !c.eof && c.pos >= len(c.frame) {
+		frame, err := c.r.Next()
+		if err != nil {
+			if isEOF(err) {
+				c.eof = true
+				break
+			}
+			return nil, false, err
+		}
+		c.frame, c.pos = frame, 0
+	}
+	if c.pos >= len(c.frame) {
+		return nil, false, nil
+	}
+	return c.frame[c.pos], true, nil
+}
+
+// advance consumes the record peek returned.
+func (c *runCursor) advance() { c.pos++ }
+
+// largestBucket picks the eviction victim: the bucket holding the most
+// resident bytes, ties broken by smaller id so eviction order is
+// deterministic.
+func largestBucket(sizes map[int]int64) int {
+	best := -1
+	var bestSz int64
+	for b, sz := range sizes {
+		if best == -1 || sz > bestSz || (sz == bestSz && b < best) {
+			best, bestSz = b, sz
+		}
+	}
+	return best
+}

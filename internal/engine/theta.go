@@ -27,7 +27,7 @@ import (
 //
 // Every matched pair is processed exactly once (at the owner of its
 // left bucket), so no result is produced twice.
-func (db *Database) runSmartTheta(clus *cluster.Cluster, join core.Join,
+func (db *Database) runSmartTheta(clus *cluster.Cluster, mem *memState, join core.Join,
 	combineBuckets func(out []types.Record, b1 int, ls []types.Record, b2 int, rs []types.Record) []types.Record,
 	lAssigned, rAssigned cluster.Data) (cluster.Data, error) {
 
@@ -211,6 +211,22 @@ func (db *Database) runSmartTheta(clus *cluster.Cluster, join core.Join,
 	// Each partition joins its owned pairs.
 	return clus.Run(lRouted, func(part int, in []types.Record) (out []types.Record, err error) {
 		defer core.CatchPanic(name, "combine", part, nil, &err)
+		if mem != nil {
+			// Memory-bounded owned-pair join: invert this partition's
+			// owned (b1 -> b2s) table so probe records route to their
+			// matching build buckets, then run the budgeted combiner.
+			rev := make(map[int][]int)
+			for b1, b2s := range ownedMatches[part] {
+				for _, b2 := range b2s {
+					rev[b2] = append(rev[b2], b1)
+				}
+			}
+			for _, b1s := range rev {
+				sort.Ints(b1s)
+			}
+			matcher := func(b2 int, _ []int) []int { return rev[b2] }
+			return boundedCombine(mem, name, part, in, rRouted[part], matcher, combineBuckets)
+		}
 		lBuckets := groupByBucket(in)
 		rBuckets := groupByBucket(rRouted[part])
 		for _, b1 := range sortedIDs(lBuckets) {

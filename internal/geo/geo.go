@@ -236,7 +236,7 @@ func (p *Polygon) MarshalWire(e *wire.Encoder) {
 
 // UnmarshalWire decodes a polygon ring and recomputes its MBR.
 func (p *Polygon) UnmarshalWire(d *wire.Decoder) error {
-	n, err := d.Uvarint()
+	n, err := d.UvarintCount(16) // each point is two float64s
 	if err != nil {
 		return err
 	}

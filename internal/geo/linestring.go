@@ -64,7 +64,7 @@ func (ls *LineString) MarshalWire(e *wire.Encoder) {
 
 // UnmarshalWire decodes a polyline and recomputes its MBR.
 func (ls *LineString) UnmarshalWire(d *wire.Decoder) error {
-	n, err := d.Uvarint()
+	n, err := d.UvarintCount(16) // each point is two float64s
 	if err != nil {
 		return err
 	}

@@ -11,10 +11,10 @@ import (
 	"fudj/internal/types"
 )
 
-// TestChaosEquivalence runs the overlapping-interval join end-to-end
-// on a faulted cluster (crashes, a straggler node, shuffle corruption)
-// and requires the results to match a fault-free run exactly.
-func TestChaosEquivalence(t *testing.T) {
+// chaosDB builds the small rides database the chaos suites run
+// against, with the overlapping-interval FUDJ installed.
+func chaosDB(t *testing.T) *engine.Database {
+	t.Helper()
 	db := engine.MustOpen(engine.Options{Cluster: cluster.Config{Nodes: 3, CoresPerNode: 2}})
 	rng := rand.New(rand.NewSource(6))
 	schema := types.NewSchema(
@@ -40,11 +40,37 @@ func TestChaosEquivalence(t *testing.T) {
 	if _, err := db.Execute(`CREATE JOIN overlapping_interval(a: interval, b: interval, n: int) RETURNS boolean AS "oip.IntervalJoin" AT intervaljoins`); err != nil {
 		t.Fatal(err)
 	}
-	const q = `SELECT n1.id, n2.id FROM rides n1, rides n2
-		WHERE n1.vendor = 1 AND n2.vendor = 2
-		  AND overlapping_interval(n1.ride_interval, n2.ride_interval, 50)`
+	return db
+}
 
-	clean, err := db.Execute(q)
+const chaosQuery = `SELECT n1.id, n2.id FROM rides n1, rides n2
+	WHERE n1.vendor = 1 AND n2.vendor = 2
+	  AND overlapping_interval(n1.ride_interval, n2.ride_interval, 50)`
+
+// sameMultiset requires chaos to contain exactly the rows of clean.
+func sameMultiset(t *testing.T, clean, chaos []types.Record) {
+	t.Helper()
+	if len(chaos) != len(clean) {
+		t.Fatalf("degraded run: %d rows, baseline: %d", len(chaos), len(clean))
+	}
+	seen := make(map[string]int, len(clean))
+	for _, r := range clean {
+		seen[r.String()]++
+	}
+	for _, r := range chaos {
+		if seen[r.String()] == 0 {
+			t.Fatalf("degraded run produced row %s absent from the baseline", r)
+		}
+		seen[r.String()]--
+	}
+}
+
+// TestChaosEquivalence runs the overlapping-interval join end-to-end
+// on a faulted cluster (crashes, a straggler node, shuffle corruption)
+// and requires the results to match a fault-free run exactly.
+func TestChaosEquivalence(t *testing.T) {
+	db := chaosDB(t)
+	clean, err := db.Execute(chaosQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,24 +91,51 @@ func TestChaosEquivalence(t *testing.T) {
 		MaxBackoff:       time.Millisecond,
 		SpeculativeAfter: 2 * time.Millisecond,
 	})
-	chaos, err := db.Execute(q)
+	chaos, err := db.Execute(chaosQuery)
 	if err != nil {
 		t.Fatalf("chaos run failed: %v", err)
 	}
 	if chaos.Retries == 0 {
 		t.Error("no retries recorded under injected crashes")
 	}
-	if len(chaos.Rows) != len(clean.Rows) {
-		t.Fatalf("chaos run: %d rows, fault-free: %d", len(chaos.Rows), len(clean.Rows))
+	sameMultiset(t, clean.Rows, chaos.Rows)
+}
+
+// TestMemoryBoundedChaos degrades the same join twice over: a budget
+// far below the working set (forcing spill-to-disk COMBINE on the
+// theta path) plus 20% task crashes. Results must still match the
+// unbounded fault-free run.
+func TestMemoryBoundedChaos(t *testing.T) {
+	db := chaosDB(t)
+	clean, err := db.Execute(chaosQuery)
+	if err != nil {
+		t.Fatal(err)
 	}
-	seen := make(map[string]int, len(clean.Rows))
-	for _, r := range clean.Rows {
-		seen[r.String()]++
+
+	const budget = 12288 // 2KB per partition on 6 partitions
+	db.SetMemoryBudget(budget)
+	db.SetFaultConfig(&cluster.FaultConfig{Seed: 9, CrashProb: 0.2})
+	db.SetRetryPolicy(cluster.RetryPolicy{
+		MaxAttempts: 8,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+	})
+	bounded, err := db.Execute(chaosQuery)
+	if err != nil {
+		t.Fatalf("memory-bounded chaos run failed: %v", err)
 	}
-	for _, r := range chaos.Rows {
-		if seen[r.String()] == 0 {
-			t.Fatalf("chaos run produced row %s absent from the fault-free run", r)
-		}
-		seen[r.String()]--
+	sameMultiset(t, clean.Rows, bounded.Rows)
+	if bounded.BytesSpilled == 0 || bounded.SpillRuns == 0 {
+		t.Errorf("budget %d forced no spilling (spilled=%d runs=%d)",
+			budget, bounded.BytesSpilled, bounded.SpillRuns)
 	}
+	if bounded.Retries == 0 {
+		t.Error("no retries recorded under injected crashes")
+	}
+	if bounded.PeakMemory <= 0 || bounded.PeakMemory > budget {
+		t.Errorf("PeakMemory %d outside (0, %d]", bounded.PeakMemory, budget)
+	}
+	t.Logf("peak=%d spilled=%d runs=%d split=%d retries=%d",
+		bounded.PeakMemory, bounded.BytesSpilled, bounded.SpillRuns,
+		bounded.BucketsSplit, bounded.Retries)
 }

@@ -11,54 +11,76 @@ import (
 	"fudj/internal/types"
 )
 
+// chaosDB builds the small parks/fires database the chaos suites run
+// against, with the spatial FUDJ installed.
+func chaosDB(t *testing.T) *engine.Database {
+	t.Helper()
+	db := engine.MustOpen(engine.Options{Cluster: cluster.Config{Nodes: 3, CoresPerNode: 2}})
+	rng := rand.New(rand.NewSource(4))
+	parksSchema := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt64},
+		types.Field{Name: "boundary", Kind: types.KindPolygon},
+	)
+	var parks []types.Record
+	for i := 0; i < 30; i++ {
+		x, y := rng.Float64()*80, rng.Float64()*80
+		w, h := rng.Float64()*10+1, rng.Float64()*10+1
+		poly := geo.NewPolygon([]geo.Point{
+			{X: x, Y: y}, {X: x + w, Y: y}, {X: x + w, Y: y + h}, {X: x, Y: y + h},
+		})
+		parks = append(parks, types.Record{types.NewInt64(int64(i)), types.NewPolygon(poly)})
+	}
+	if err := db.CreateDataset("parks", parksSchema, parks); err != nil {
+		t.Fatal(err)
+	}
+	firesSchema := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt64},
+		types.Field{Name: "location", Kind: types.KindPoint},
+	)
+	var fires []types.Record
+	for i := 0; i < 90; i++ {
+		fires = append(fires, types.Record{
+			types.NewInt64(int64(i)),
+			types.NewPoint(geo.Point{X: rng.Float64() * 90, Y: rng.Float64() * 90}),
+		})
+	}
+	if err := db.CreateDataset("fires", firesSchema, fires); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InstallLibrary(Library()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(`CREATE JOIN spatial_join(a: geometry, b: geometry, n: int) RETURNS boolean AS "pbsm.SpatialJoin" AT spatialjoins`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+const chaosQuery = `SELECT p.id, f.id FROM parks p, fires f WHERE spatial_join(p.boundary, f.location, 8)`
+
+// sameMultiset requires chaos to contain exactly the rows of clean.
+func sameMultiset(t *testing.T, clean, chaos []types.Record) {
+	t.Helper()
+	if len(chaos) != len(clean) {
+		t.Fatalf("degraded run: %d rows, baseline: %d", len(chaos), len(clean))
+	}
+	seen := make(map[string]int, len(clean))
+	for _, r := range clean {
+		seen[r.String()]++
+	}
+	for _, r := range chaos {
+		if seen[r.String()] == 0 {
+			t.Fatalf("degraded run produced row %s absent from the baseline", r)
+		}
+		seen[r.String()]--
+	}
+}
+
 // TestChaosEquivalence runs the spatial join end-to-end on a faulted
 // cluster and requires the results to match a fault-free run exactly.
 func TestChaosEquivalence(t *testing.T) {
-	newDB := func() *engine.Database {
-		db := engine.MustOpen(engine.Options{Cluster: cluster.Config{Nodes: 3, CoresPerNode: 2}})
-		rng := rand.New(rand.NewSource(4))
-		parksSchema := types.NewSchema(
-			types.Field{Name: "id", Kind: types.KindInt64},
-			types.Field{Name: "boundary", Kind: types.KindPolygon},
-		)
-		var parks []types.Record
-		for i := 0; i < 30; i++ {
-			x, y := rng.Float64()*80, rng.Float64()*80
-			w, h := rng.Float64()*10+1, rng.Float64()*10+1
-			poly := geo.NewPolygon([]geo.Point{
-				{X: x, Y: y}, {X: x + w, Y: y}, {X: x + w, Y: y + h}, {X: x, Y: y + h},
-			})
-			parks = append(parks, types.Record{types.NewInt64(int64(i)), types.NewPolygon(poly)})
-		}
-		if err := db.CreateDataset("parks", parksSchema, parks); err != nil {
-			t.Fatal(err)
-		}
-		firesSchema := types.NewSchema(
-			types.Field{Name: "id", Kind: types.KindInt64},
-			types.Field{Name: "location", Kind: types.KindPoint},
-		)
-		var fires []types.Record
-		for i := 0; i < 90; i++ {
-			fires = append(fires, types.Record{
-				types.NewInt64(int64(i)),
-				types.NewPoint(geo.Point{X: rng.Float64() * 90, Y: rng.Float64() * 90}),
-			})
-		}
-		if err := db.CreateDataset("fires", firesSchema, fires); err != nil {
-			t.Fatal(err)
-		}
-		if err := db.InstallLibrary(Library()); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := db.Execute(`CREATE JOIN spatial_join(a: geometry, b: geometry, n: int) RETURNS boolean AS "pbsm.SpatialJoin" AT spatialjoins`); err != nil {
-			t.Fatal(err)
-		}
-		return db
-	}
-	const q = `SELECT p.id, f.id FROM parks p, fires f WHERE spatial_join(p.boundary, f.location, 8)`
-
-	db := newDB()
-	clean, err := db.Execute(q)
+	db := chaosDB(t)
+	clean, err := db.Execute(chaosQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,24 +101,50 @@ func TestChaosEquivalence(t *testing.T) {
 		MaxBackoff:       time.Millisecond,
 		SpeculativeAfter: 2 * time.Millisecond,
 	})
-	chaos, err := db.Execute(q)
+	chaos, err := db.Execute(chaosQuery)
 	if err != nil {
 		t.Fatalf("chaos run failed: %v", err)
 	}
 	if chaos.Retries == 0 {
 		t.Error("no retries recorded under injected crashes")
 	}
-	if len(chaos.Rows) != len(clean.Rows) {
-		t.Fatalf("chaos run: %d rows, fault-free: %d", len(chaos.Rows), len(clean.Rows))
+	sameMultiset(t, clean.Rows, chaos.Rows)
+}
+
+// TestMemoryBoundedChaos degrades the same join twice over: a budget
+// far below the working set (forcing spill-to-disk COMBINE) plus 20%
+// task crashes. Results must still match the unbounded fault-free run.
+func TestMemoryBoundedChaos(t *testing.T) {
+	db := chaosDB(t)
+	clean, err := db.Execute(chaosQuery)
+	if err != nil {
+		t.Fatal(err)
 	}
-	seen := make(map[string]int, len(clean.Rows))
-	for _, r := range clean.Rows {
-		seen[r.String()]++
+
+	const budget = 12288 // 2KB per partition on 6 partitions
+	db.SetMemoryBudget(budget)
+	db.SetFaultConfig(&cluster.FaultConfig{Seed: 9, CrashProb: 0.2})
+	db.SetRetryPolicy(cluster.RetryPolicy{
+		MaxAttempts: 8,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+	})
+	bounded, err := db.Execute(chaosQuery)
+	if err != nil {
+		t.Fatalf("memory-bounded chaos run failed: %v", err)
 	}
-	for _, r := range chaos.Rows {
-		if seen[r.String()] == 0 {
-			t.Fatalf("chaos run produced row %s absent from the fault-free run", r)
-		}
-		seen[r.String()]--
+	sameMultiset(t, clean.Rows, bounded.Rows)
+	if bounded.BytesSpilled == 0 || bounded.SpillRuns == 0 {
+		t.Errorf("budget %d forced no spilling (spilled=%d runs=%d)",
+			budget, bounded.BytesSpilled, bounded.SpillRuns)
 	}
+	if bounded.Retries == 0 {
+		t.Error("no retries recorded under injected crashes")
+	}
+	if bounded.PeakMemory <= 0 || bounded.PeakMemory > budget {
+		t.Errorf("PeakMemory %d outside (0, %d]", bounded.PeakMemory, budget)
+	}
+	t.Logf("peak=%d spilled=%d runs=%d split=%d retries=%d",
+		bounded.PeakMemory, bounded.BytesSpilled, bounded.SpillRuns,
+		bounded.BucketsSplit, bounded.Retries)
 }

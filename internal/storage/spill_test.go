@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"fudj/internal/types"
+)
+
+func spillBatch(n, strLen int) []types.Record {
+	recs := make([]types.Record, n)
+	for i := range recs {
+		recs[i] = types.Record{
+			types.NewInt64(int64(i)),
+			types.NewString(strings.Repeat("s", strLen)),
+		}
+	}
+	return recs
+}
+
+func readAll(t *testing.T, path string) []types.Record {
+	t.Helper()
+	r, err := OpenRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out []types.Record
+	for {
+		frame, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, frame...)
+	}
+	return out
+}
+
+func TestSpillRunRoundTrip(t *testing.T) {
+	w, err := NewRunWriter(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := spillBatch(500, 40)
+	if err := w.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 500 {
+		t.Errorf("Records() = %d, want 500", w.Records())
+	}
+	if w.Bytes() <= 0 {
+		t.Errorf("Bytes() = %d, want > 0", w.Bytes())
+	}
+	got := readAll(t, w.Path())
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i][0].Int64() != recs[i][0].Int64() || got[i][1].String() != recs[i][1].String() {
+			t.Fatalf("record %d mismatch: %v", i, got[i])
+		}
+	}
+}
+
+func TestSpillRunMultipleFrames(t *testing.T) {
+	// Big strings force several 64KB frames; the reader must see every
+	// record exactly once, in append order, without loading the whole
+	// run at once.
+	w, err := NewRunWriter(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := spillBatch(300, 2000) // ~600KB of payload -> ~10 frames
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenRun(w.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	frames, total := 0, 0
+	for {
+		frame, err := r.Next()
+		if err != nil {
+			break
+		}
+		frames++
+		for _, rec := range frame {
+			if rec[0].Int64() != int64(total) {
+				t.Fatalf("record %d out of order: %v", total, rec[0])
+			}
+			total++
+		}
+	}
+	if total != 300 {
+		t.Fatalf("read %d records, want 300", total)
+	}
+	if frames < 2 {
+		t.Errorf("read %d frames, want several (frame splitting broken)", frames)
+	}
+}
+
+func TestSpillRunEmpty(t *testing.T) {
+	w, err := NewRunWriter(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 0 {
+		t.Errorf("Records() = %d, want 0", w.Records())
+	}
+	if got := readAll(t, w.Path()); len(got) != 0 {
+		t.Errorf("read %d records from empty run", len(got))
+	}
+}
+
+func TestSpillRunRemove(t *testing.T) {
+	w, err := NewRunWriter(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(spillBatch(3, 8)...); err != nil {
+		t.Fatal(err)
+	}
+	path := w.Path()
+	w.Remove()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("run file still exists after Remove: %v", err)
+	}
+	// Remove is idempotent.
+	w.Remove()
+}

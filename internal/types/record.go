@@ -122,7 +122,7 @@ func (r Record) MarshalWire(e *wire.Encoder) {
 
 // DecodeRecord reads one record from d.
 func DecodeRecord(d *wire.Decoder) (Record, error) {
-	n, err := d.Uvarint()
+	n, err := d.UvarintCount(1) // every value encodes at least a kind byte
 	if err != nil {
 		return nil, err
 	}

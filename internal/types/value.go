@@ -522,7 +522,7 @@ func DecodeValue(d *wire.Decoder) (Value, error) {
 		}
 		return NewLineString(&ls), nil
 	case KindList:
-		n, err := d.Uvarint()
+		n, err := d.UvarintCount(1)
 		if err != nil {
 			return Null, err
 		}

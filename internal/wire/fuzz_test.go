@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"testing"
+)
+
+// FuzzDecoder drives the primitive decoder with arbitrary bytes and an
+// arbitrary read script. The decoder sits under every shuffle payload,
+// summary, and plan transfer, so the contract is: reads never panic,
+// never report a negative remaining count, and the offset only moves
+// forward.
+func FuzzDecoder(f *testing.F) {
+	valid := NewEncoder(64)
+	valid.Uvarint(7)
+	valid.Varint(-7)
+	valid.Float64(1.5)
+	valid.Bool(true)
+	valid.String("seed")
+	valid.BytesField([]byte{1, 2, 3})
+	f.Add(valid.Bytes(), []byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, []byte{0, 6})
+	f.Add([]byte{0x80, 0x80, 0x80}, []byte{0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data, script []byte) {
+		d := NewDecoder(data)
+		for _, op := range script {
+			before := d.Offset()
+			var err error
+			switch op % 7 {
+			case 0:
+				_, err = d.Uvarint()
+			case 1:
+				_, err = d.Varint()
+			case 2:
+				_, err = d.Float64()
+			case 3:
+				_, err = d.Bool()
+			case 4:
+				_, err = d.String()
+			case 5:
+				_, err = d.BytesField()
+			case 6:
+				_, err = d.UvarintCount(int(op))
+			}
+			if d.Remaining() < 0 {
+				t.Fatalf("Remaining went negative after op %d", op%7)
+			}
+			if d.Offset() < before {
+				t.Fatalf("Offset moved backwards: %d -> %d", before, d.Offset())
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzUvarintCountBound pins the allocation guard: an accepted count
+// never exceeds what the remaining bytes can encode.
+func FuzzUvarintCountBound(f *testing.F) {
+	f.Add([]byte{0x05, 1, 2, 3, 4, 5}, 1)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, 16)
+	f.Fuzz(func(t *testing.T, data []byte, elemSize int) {
+		d := NewDecoder(data)
+		n, err := d.UvarintCount(elemSize)
+		if err != nil {
+			return
+		}
+		if elemSize < 1 {
+			elemSize = 1
+		}
+		if n < 0 || n > d.Remaining()/elemSize {
+			t.Fatalf("UvarintCount accepted %d with only %d bytes left (elem %d)",
+				n, d.Remaining(), elemSize)
+		}
+	})
+}

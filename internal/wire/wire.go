@@ -146,6 +146,27 @@ func (d *Decoder) Byte() (byte, error) {
 	return b, nil
 }
 
+// UvarintCount reads an element count that precedes a sequence of
+// elements, each occupying at least minElemSize encoded bytes, and
+// rejects counts the remaining input cannot possibly hold. Decoders
+// must size allocations with this rather than a raw Uvarint: a
+// corrupted length prefix must produce an error, never a giant
+// allocation.
+func (d *Decoder) UvarintCount(minElemSize int) (int, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if n > uint64(d.Remaining()/minElemSize) {
+		return 0, fmt.Errorf("wire: count %d exceeds the %d remaining bytes: %w",
+			n, d.Remaining(), ErrShortBuffer)
+	}
+	return int(n), nil
+}
+
 // String reads a length-prefixed string.
 func (d *Decoder) String() (string, error) {
 	n, err := d.Uvarint()
