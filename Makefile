@@ -2,12 +2,26 @@
 
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz ci
+# Pinned external linter versions (installed in CI; local runs skip
+# them gracefully when the tools are absent).
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+FUDJVET = bin/fudjvet
+
+.PHONY: all vet fudjvet build test race chaos fuzz staticcheck govulncheck lint-fix-check ci
 
 all: build
 
-vet:
+# vet runs the standard analyzers plus fudjvet, the repo's own
+# invariant suite (determinism, UDF isolation, bounded allocation,
+# context plumbing) via the go vet -vettool protocol.
+vet: fudjvet
 	$(GO) vet ./...
+	$(GO) vet -vettool=$(abspath $(FUDJVET)) ./...
+
+fudjvet:
+	$(GO) build -o $(FUDJVET) ./cmd/fudjvet
 
 build:
 	$(GO) build ./...
@@ -37,4 +51,30 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecoder -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzUvarintCountBound -fuzztime $(FUZZTIME) ./internal/wire/
 
-ci: vet build race chaos
+# staticcheck and govulncheck are external tools pinned by version in
+# CI; locally they run only if already installed (the build environment
+# deliberately carries no third-party modules).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI pins $(GOVULNCHECK_VERSION))"; \
+	fi
+
+# lint-fix-check fails if the tree needs gofmt, or if the fudjvet suite
+# reports any finding — the no-drift gate CI runs on a clean checkout.
+lint-fix-check: fudjvet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet -vettool=$(abspath $(FUDJVET)) ./...
+
+ci: vet build race chaos staticcheck govulncheck

@@ -1,0 +1,173 @@
+// Command fudjvet is the FUDJ multichecker: it runs the
+// internal/analysis suite (maporder, seedrand, udfcatch, boundedalloc,
+// ctxplumb) over the repository and reports every invariant violation,
+// counting //fudjvet:ignore suppressions so the escape hatch stays
+// visible.
+//
+// It runs in two modes:
+//
+//	fudjvet ./...                     standalone: loads packages itself
+//	go vet -vettool=$(pwd)/bin/fudjvet ./...   unitchecker: driven by the go command
+//
+// The unitchecker mode speaks the go command's vet tool protocol
+// (-V=full / -flags / <package>.cfg), type-checking each package
+// against the export data the go command hands it, so `make vet` and
+// CI integrate the suite exactly like the standard vet analyzers.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fudj/internal/analysis"
+	"fudj/internal/analysis/framework"
+)
+
+const version = "fudjvet version v1.0.0"
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: fudjvet [packages] | go vet -vettool=fudjvet [packages]")
+		os.Exit(1)
+	}
+	switch {
+	case args[0] == "-V=full" || args[0] == "-V":
+		// The go command hashes this line into its build cache key.
+		fmt.Println(version)
+	case args[0] == "-flags":
+		// The go command asks for our flag schema; we define none.
+		fmt.Println("[]")
+	case strings.HasSuffix(args[0], ".cfg"):
+		unitcheck(args[0])
+	default:
+		standalone(args)
+	}
+}
+
+// standalone loads the given package patterns with `go list -export`
+// and analyzes everything in one process.
+func standalone(patterns []string) {
+	pkgs, err := framework.LoadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fudjvet:", err)
+		os.Exit(1)
+	}
+	findings := 0
+	var suppressed []framework.Suppression
+	for _, pkg := range pkgs {
+		res, err := framework.RunAnalyzers(pkg, analysis.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fudjvet:", err)
+			os.Exit(1)
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(os.Stderr, d)
+			findings++
+		}
+		suppressed = append(suppressed, res.Suppressed...)
+	}
+	reportSuppressions(suppressed)
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "fudjvet: %d finding(s)\n", findings)
+		os.Exit(2)
+	}
+}
+
+// reportSuppressions keeps the escape hatch honest: every silenced
+// finding is counted and listed with its reason.
+func reportSuppressions(sup []framework.Suppression) {
+	if len(sup) == 0 {
+		return
+	}
+	byRule := make(map[string]int)
+	for _, s := range sup {
+		byRule[s.Rule]++
+	}
+	var parts []string
+	for _, a := range analysis.All() {
+		if n := byRule[a.Name]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", a.Name, n))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fudjvet: %d finding(s) suppressed by //fudjvet:ignore (%s)\n",
+		len(sup), strings.Join(parts, ", "))
+	for _, s := range sup {
+		fmt.Fprintf(os.Stderr, "fudjvet: suppressed %s at %s:%d: %s\n", s.Rule, s.Pos.Filename, s.Pos.Line, s.Reason)
+	}
+}
+
+// vetConfig mirrors the JSON the go command writes for -vettool
+// invocations (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package as directed by a go vet cfg file.
+func unitcheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", cfgFile, err))
+	}
+	// The go command requires the vetx (facts) file regardless; the
+	// fudjvet analyzers exchange no facts, so it is a placeholder.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("fudjvet: no facts\n"), 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // a dependency analyzed only for facts — nothing to do
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := framework.TypeCheck(cfg.ImportPath, cfg.GoFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(err)
+	}
+	res, err := framework.RunAnalyzers(pkg, analysis.All())
+	if err != nil {
+		fatal(err)
+	}
+	reportSuppressions(res.Suppressed)
+	if len(res.Diagnostics) > 0 {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fudjvet:", err)
+	os.Exit(1)
+}

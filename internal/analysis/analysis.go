@@ -1,0 +1,27 @@
+// Package analysis aggregates the fudjvet analyzer suite: the
+// repo-specific invariants (determinism, isolation, bounded
+// allocation, cancellation) that the compiler cannot check but the
+// engine's correctness argument depends on. cmd/fudjvet runs them as a
+// go vet -vettool multichecker; each analyzer package carries its own
+// fixture-driven tests.
+package analysis
+
+import (
+	"fudj/internal/analysis/boundedalloc"
+	"fudj/internal/analysis/ctxplumb"
+	"fudj/internal/analysis/framework"
+	"fudj/internal/analysis/maporder"
+	"fudj/internal/analysis/seedrand"
+	"fudj/internal/analysis/udfcatch"
+)
+
+// All returns the full fudjvet suite in reporting order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		maporder.Analyzer,
+		seedrand.Analyzer,
+		udfcatch.Analyzer,
+		boundedalloc.Analyzer,
+		ctxplumb.Analyzer,
+	}
+}

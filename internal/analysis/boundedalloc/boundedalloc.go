@@ -1,0 +1,157 @@
+// Package boundedalloc flags allocations sized by a raw decoded length
+// prefix.
+//
+// Invariant: every byte that crosses a simulated node boundary is
+// decoded by internal/wire, and a corrupted or adversarial length
+// prefix must produce a decode error — never a multi-gigabyte
+// allocation. wire.(*Decoder).UvarintCount is the checked entry point:
+// it rejects counts the remaining input cannot possibly hold. This
+// rule generalizes the fuzz findings that hardened the record, value,
+// polygon, and linestring decoders: a `make` whose size derives from a
+// raw (*Decoder).Uvarint, binary.Uvarint, or binary.ReadUvarint result
+// is a finding; size counts must flow through UvarintCount instead.
+package boundedalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fudj/internal/analysis/framework"
+)
+
+// Analyzer is the boundedalloc rule.
+var Analyzer = &framework.Analyzer{
+	Name: "boundedalloc",
+	Doc: "allocations sized from a decoded length prefix must flow through " +
+		"wire.UvarintCount so corrupt input errors instead of allocating",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc runs a single forward taint pass over the function body
+// (closures included — object identity tracks variables across
+// literal boundaries). Source-order traversal matches dataflow order
+// for the decoder idioms this rule targets.
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Taint flows right to left: x, err := d.Uvarint() taints x;
+			// y := int(x) propagates; any other assignment clears.
+			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+				taint := isRawLengthSource(pass, n.Rhs[0]) || mentionsTainted(pass, n.Rhs[0], tainted)
+				setTaint(pass, n.Lhs[0], taint, tainted)
+				for _, lhs := range n.Lhs[1:] {
+					setTaint(pass, lhs, false, tainted)
+				}
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					setTaint(pass, lhs, mentionsTainted(pass, n.Rhs[i], tainted), tainted)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) >= 2 {
+				for _, sizeArg := range n.Args[1:] {
+					if mentionsTainted(pass, sizeArg, tainted) {
+						pass.Reportf(n.Pos(),
+							"make sized by %s, which comes from a raw decoded length prefix; "+
+								"use (*wire.Decoder).UvarintCount so corrupt input errors instead of allocating",
+							types.ExprString(sizeArg))
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// setTaint updates the taint state of an assignment target.
+func setTaint(pass *framework.Pass, lhs ast.Expr, taint bool, tainted map[types.Object]bool) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if taint {
+		tainted[obj] = true
+	} else {
+		delete(tainted, obj)
+	}
+}
+
+// isRawLengthSource reports whether e is a call yielding an unchecked
+// decoded length: (*Decoder).Uvarint / Varint, binary.Uvarint, or
+// binary.ReadUvarint. UvarintCount is the checked source and is not
+// flagged.
+func isRawLengthSource(pass *framework.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Uvarint", "Varint":
+		// Method on a Decoder, or package function binary.Uvarint.
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			return ok && named.Obj().Name() == "Decoder"
+		}
+		if pkg, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.ObjectOf(pkg).(*types.PkgName); ok {
+				return pn.Imported().Path() == "encoding/binary"
+			}
+		}
+	case "ReadUvarint", "ReadVarint":
+		if pkg, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.ObjectOf(pkg).(*types.PkgName); ok {
+				return pn.Imported().Path() == "encoding/binary"
+			}
+		}
+	}
+	return false
+}
+
+// mentionsTainted reports whether e references any tainted variable
+// (directly or under conversions/arithmetic).
+func mentionsTainted(pass *framework.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

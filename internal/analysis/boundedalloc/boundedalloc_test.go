@@ -1,0 +1,12 @@
+package boundedalloc_test
+
+import (
+	"testing"
+
+	"fudj/internal/analysis/boundedalloc"
+	"fudj/internal/analysis/framework"
+)
+
+func TestBoundedAlloc(t *testing.T) {
+	framework.RunTest(t, "testdata", boundedalloc.Analyzer, "a")
+}

@@ -1,0 +1,76 @@
+// Fixture for the boundedalloc analyzer: allocations sized by a raw
+// decoded length prefix are findings; UvarintCount is the checked
+// source.
+package a
+
+import (
+	"bufio"
+	"encoding/binary"
+)
+
+// Decoder stands in for wire.Decoder (matched by type name).
+type Decoder struct{ buf []byte }
+
+func (d *Decoder) Uvarint() (uint64, error)          { return 0, nil }
+func (d *Decoder) Varint() (int64, error)            { return 0, nil }
+func (d *Decoder) UvarintCount(min int) (int, error) { return 0, nil }
+
+type Record []byte
+
+func flaggedRaw(d *Decoder) ([]Record, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, n) // want `make sized by n, which comes from a raw decoded length prefix`
+	return out, nil
+}
+
+func flaggedPropagated(d *Decoder) ([]byte, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	size := int(n) * 8
+	return make([]byte, size), nil // want `make sized by size`
+}
+
+func flaggedBinary(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	return make([]byte, n) // want `make sized by n`
+}
+
+func flaggedStream(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil // want `make sized by n`
+}
+
+func okChecked(d *Decoder) ([]Record, error) {
+	n, err := d.UvarintCount(1)
+	if err != nil {
+		return nil, err
+	}
+	return make([]Record, n), nil
+}
+
+func okReassigned(d *Decoder) []byte {
+	n, _ := d.Uvarint()
+	n = 16
+	return make([]byte, n)
+}
+
+func okUntaintedSize(d *Decoder, have int) []byte {
+	if _, err := d.Uvarint(); err != nil {
+		return nil
+	}
+	return make([]byte, have)
+}
+
+func suppressedMake(d *Decoder) []byte {
+	n, _ := d.Uvarint()
+	//fudjvet:ignore boundedalloc -- fixture: bound is checked out of band
+	return make([]byte, n) // suppressed
+}

@@ -1,0 +1,13 @@
+package ctxplumb_test
+
+import (
+	"testing"
+
+	"fudj/internal/analysis/ctxplumb"
+	"fudj/internal/analysis/framework"
+)
+
+func TestCtxPlumb(t *testing.T) {
+	a := ctxplumb.New([]string{"a"})
+	framework.RunTest(t, "testdata", a, "a")
+}

@@ -1,0 +1,79 @@
+// Fixture for the ctxplumb analyzer, loaded as a restricted package:
+// exported functions that fan work out must accept and use a context.
+package a
+
+import "context"
+
+func RunAll(work []func()) { // want `exported RunAll spawns goroutines`
+	for _, w := range work {
+		go w()
+	}
+}
+
+func RunAllCtx(ctx context.Context, work []func()) {
+	for _, w := range work {
+		go func() {
+			select {
+			case <-ctx.Done():
+			default:
+				w()
+			}
+		}()
+	}
+}
+
+func RunIgnoredCtx(ctx context.Context, work []func()) { // want `never forwards its context\.Context`
+	for _, w := range work {
+		go w()
+	}
+}
+
+func RunBlankCtx(_ context.Context, work []func()) { // want `never forwards its context\.Context`
+	go work[0]()
+}
+
+func spawnHelper(f func()) { go f() }
+
+func RunIndirect(f func()) { // want `spawns goroutines \(via spawnHelper\)`
+	spawnHelper(f)
+}
+
+// Cluster carries the query context (the SetContext pattern); its
+// methods observe cancellation structurally.
+type Cluster struct {
+	qctx context.Context
+}
+
+func (c *Cluster) Run(f func()) { c.dispatch(f) }
+
+func (c *Cluster) dispatch(f func()) { go f() }
+
+// RunValues is generic, so it cannot be a method; the *Cluster
+// parameter carries the context and exempts it.
+func RunValues[T any](c *Cluster, f func() T) {
+	go func() { _ = f() }()
+}
+
+// Engine holds a cluster but no context of its own: driving partition
+// tasks from it needs an explicit context parameter.
+type Engine struct {
+	c *Cluster
+}
+
+func (e *Engine) Execute(f func()) { // want `drives partition tasks \(Run\)`
+	e.c.Run(f)
+}
+
+func (e *Engine) ExecuteCtx(ctx context.Context, f func()) {
+	if ctx.Err() != nil {
+		return
+	}
+	e.c.Run(f)
+}
+
+type Pool struct{}
+
+//fudjvet:ignore ctxplumb -- fixture: fire-and-forget telemetry flush
+func (p *Pool) Flush() { // suppressed
+	go func() {}()
+}

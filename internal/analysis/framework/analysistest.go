@@ -1,0 +1,121 @@
+package framework
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunTest is the analysistest-style fixture driver: it loads each
+// package directory under <testdata>/src, runs the analyzer, and
+// compares the findings against `// want` expectations embedded in the
+// fixture sources.
+//
+// Expectation syntax, on the line a finding is expected at:
+//
+//	code() // want `regexp matching the message`
+//
+// Multiple expectations on one line are separated by additional
+// backquoted regexps. Lines without a want comment must produce no
+// finding. Suppressed findings (via //fudjvet:ignore) are asserted with
+// `// suppressed` on the directive's line.
+func RunTest(t *testing.T, testdata string, a *Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := LoadFixtureDir(dir)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", dir, err)
+		}
+		res, err := RunAnalyzers(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, name, err)
+		}
+		checkExpectations(t, pkg, res)
+	}
+}
+
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations compares findings against // want comments.
+func checkExpectations(t *testing.T, pkg *Package, res Result) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	suppressWant := make(map[string]bool)    // "file:line" -> expect a suppression
+	suppressSeen := make(map[string]bool)    // suppressions observed
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				text := c.Text
+				if idx := strings.Index(text, "// want "); idx >= 0 {
+					for _, m := range wantRe.FindAllStringSubmatch(text[idx:], -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re})
+					}
+				}
+				if strings.Contains(text, "// suppressed") {
+					suppressWant[key] = true
+				}
+			}
+		}
+	}
+
+	for _, d := range res.Diagnostics {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding at %s: %s: %s", key, d.Rule, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no finding at %s matching %q", key, w.re)
+			}
+		}
+	}
+
+	for _, s := range res.Suppressed {
+		// A suppression is asserted at the line of the directive, which
+		// is either the finding's line or the line above it.
+		keys := []string{
+			fmt.Sprintf("%s:%d", s.Pos.Filename, s.Pos.Line),
+			fmt.Sprintf("%s:%d", s.Pos.Filename, s.Pos.Line-1),
+		}
+		ok := false
+		for _, key := range keys {
+			if suppressWant[key] {
+				suppressSeen[key] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected suppression at %s:%d (%s)", s.Pos.Filename, s.Pos.Line, s.Rule)
+		}
+	}
+	for key := range suppressWant {
+		if !suppressSeen[key] {
+			t.Errorf("expected a suppressed finding near %s, got none", key)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch: a comment of the form
+//
+//	//fudjvet:ignore rule1,rule2 -- why this is safe
+//
+// suppresses findings of the named rules (or every rule, with the
+// special name "all") reported on the directive's own line or on the
+// line immediately below it. The "-- reason" part is mandatory: an
+// unexplained suppression is itself reported, so the escape hatch can
+// never silently accumulate.
+const ignorePrefix = "//fudjvet:ignore"
+
+type ignoreDirective struct {
+	rules  map[string]bool
+	all    bool
+	line   int // source line the directive sits on
+	file   string
+	reason string
+}
+
+type directiveSet struct {
+	// byFileLine indexes directives by filename and the lines they
+	// cover (the directive line and the next line).
+	byFileLine map[string][]*ignoreDirective
+}
+
+// match reports whether d is suppressed, returning the directive's
+// reason.
+func (s directiveSet) match(d Diagnostic) (string, bool) {
+	for _, dir := range s.byFileLine[d.Pos.Filename] {
+		if d.Pos.Line != dir.line && d.Pos.Line != dir.line+1 {
+			continue
+		}
+		if dir.all || dir.rules[d.Rule] {
+			return dir.reason, true
+		}
+	}
+	return "", false
+}
+
+// parseIgnoreDirectives scans every comment in files for fudjvet:ignore
+// directives. Malformed directives (no rule list, or a missing
+// "-- reason") are returned as diagnostics under the pseudo-rule
+// "fudjvet" so they fail the build like any other finding.
+func parseIgnoreDirectives(fset *token.FileSet, files []*ast.File) (directiveSet, []Diagnostic) {
+	set := directiveSet{byFileLine: make(map[string][]*ignoreDirective)}
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //fudjvet:ignoreXYZ — not ours
+				}
+				spec, reason, found := strings.Cut(rest, "--")
+				spec = strings.TrimSpace(spec)
+				reason = strings.TrimSpace(reason)
+				if spec == "" {
+					diags = append(diags, Diagnostic{
+						Rule: "fudjvet", Pos: pos,
+						Message: "ignore directive names no rule; write //fudjvet:ignore <rule> -- <reason>",
+					})
+					continue
+				}
+				if !found || reason == "" {
+					diags = append(diags, Diagnostic{
+						Rule: "fudjvet", Pos: pos,
+						Message: "ignore directive is missing its \"-- reason\"; unexplained suppressions are not allowed",
+					})
+					continue
+				}
+				dir := &ignoreDirective{
+					rules:  make(map[string]bool),
+					line:   pos.Line,
+					file:   pos.Filename,
+					reason: reason,
+				}
+				for _, r := range strings.Split(spec, ",") {
+					r = strings.TrimSpace(r)
+					if r == "all" {
+						dir.all = true
+					} else if r != "" {
+						dir.rules[r] = true
+					}
+				}
+				set.byFileLine[dir.file] = append(set.byFileLine[dir.file], dir)
+			}
+		}
+	}
+	return set, diags
+}

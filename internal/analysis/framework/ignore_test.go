@@ -1,0 +1,92 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const ignoreSrc = `package p
+
+//fudjvet:ignore maporder -- keys re-sorted by caller
+var a int
+
+//fudjvet:ignore maporder,seedrand -- covers both rules
+var b int
+
+//fudjvet:ignore all -- everything on this line is fine
+var c int
+
+//fudjvet:ignore maporder
+var d int
+
+//fudjvet:ignore -- names no rule
+var e int
+
+//fudjvet:ignoreXYZ not a directive at all
+var f int
+`
+
+func parseIgnoreSrc(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestIgnoreDirectiveParsing(t *testing.T) {
+	fset, files := parseIgnoreSrc(t)
+	set, diags := parseIgnoreDirectives(fset, files)
+
+	// Two malformed directives: missing reason (line 12) and missing
+	// rule list (line 15).
+	if len(diags) != 2 {
+		t.Fatalf("want 2 hygiene diagnostics, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "fudjvet" {
+			t.Errorf("hygiene diagnostic under rule %q, want fudjvet", d.Rule)
+		}
+	}
+
+	at := func(rule string, line int) Diagnostic {
+		return Diagnostic{Rule: rule, Pos: token.Position{Filename: "p.go", Line: line}}
+	}
+	cases := []struct {
+		d          Diagnostic
+		suppressed bool
+		reason     string
+	}{
+		{at("maporder", 3), true, "keys re-sorted by caller"},         // directive's own line
+		{at("maporder", 4), true, "keys re-sorted by caller"},         // line below
+		{at("maporder", 5), false, ""},                                // two lines below: out of reach
+		{at("seedrand", 4), false, ""},                                // rule not named
+		{at("seedrand", 7), true, "covers both rules"},                // multi-rule list
+		{at("udfcatch", 10), true, "everything on this line is fine"}, // all
+		{at("maporder", 13), false, ""},                               // malformed: no suppression
+		{at("maporder", 19), false, ""},                               // not a directive
+	}
+	for _, c := range cases {
+		reason, ok := set.match(c.d)
+		if ok != c.suppressed {
+			t.Errorf("match(%s@%d) = %v, want %v", c.d.Rule, c.d.Pos.Line, ok, c.suppressed)
+			continue
+		}
+		if ok && reason != c.reason {
+			t.Errorf("match(%s@%d) reason = %q, want %q", c.d.Rule, c.d.Pos.Line, reason, c.reason)
+		}
+	}
+}
+
+func TestIgnoreDirectiveWrongFile(t *testing.T) {
+	fset, files := parseIgnoreSrc(t)
+	set, _ := parseIgnoreDirectives(fset, files)
+	d := Diagnostic{Rule: "maporder", Pos: token.Position{Filename: "other.go", Line: 4}}
+	if _, ok := set.match(d); ok {
+		t.Error("directive in p.go suppressed a finding in other.go")
+	}
+}

@@ -1,0 +1,216 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// ExportLookup resolves an import path to its gc export data, the way
+// the go command hands export files to vet tools.
+type ExportLookup func(path string) (io.ReadCloser, error)
+
+// TypeCheck parses the given files and type-checks them against export
+// data supplied by lookup. It is the shared core of the standalone
+// driver, the unitchecker (go vet -vettool) mode, and the fixture
+// loader.
+func TypeCheck(path string, filenames []string, lookup ExportLookup) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return typeCheckFiles(path, fset, files, lookup)
+}
+
+func typeCheckFiles(path string, fset *token.FileSet, files []*ast.File, lookup ExportLookup) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", importer.Lookup(lookup))}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loaders
+// consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+}
+
+// goList runs `go list -export -deps -json` for the given patterns and
+// returns the decoded package stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Incomplete",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list %v: decode: %w", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportIndex maps import paths to export data files.
+type exportIndex map[string]string
+
+func (idx exportIndex) lookup(path string) (io.ReadCloser, error) {
+	file, ok := idx[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// LoadPackages loads and type-checks the non-standard-library packages
+// matching patterns (e.g. "./..."), resolving imports through the build
+// cache's export data. Only production files are loaded; the go tool
+// already excludes testdata directories.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(exportIndex)
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			idx[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	// `go list -deps` lists dependencies of the matched patterns too;
+	// keep only packages the patterns name. The go tool prints matched
+	// packages last, but the reliable filter is: a non-standard package
+	// whose Dir sits under dir.
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	seen := make(map[string]bool)
+	for _, p := range targets {
+		if seen[p.ImportPath] || p.Incomplete || len(p.GoFiles) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(absDir, p.Dir)
+		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			continue
+		}
+		seen[p.ImportPath] = true
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := TypeCheck(p.ImportPath, files, idx.lookup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadFixtureDir parses and type-checks one analysistest fixture
+// directory (testdata/src/<name>) as a package whose import path is
+// its directory name. Fixture imports are resolved by asking the go
+// tool for the export data of whatever standard-library packages the
+// fixture files mention.
+func LoadFixtureDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			importSet[imp.Path.Value[1:len(imp.Path.Value)-1]] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	idx := make(exportIndex)
+	if len(importSet) > 0 {
+		var paths []string
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				idx[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return typeCheckFiles(filepath.Base(dir), fset, files, idx.lookup)
+}

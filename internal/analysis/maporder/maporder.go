@@ -1,0 +1,186 @@
+// Package maporder flags `for range` loops over maps whose iterations
+// emit record-shaped or encoded output without a deterministic sort.
+//
+// Invariant: SUMMARIZE/PARTITION/COMBINE must produce multiset-identical
+// results under retry and speculation, and the duplicate-handling and
+// shuffle layers additionally rely on stable per-partition record
+// order (bounded delivery reassembles sources in index order; the
+// determinism suite asserts byte-identical re-execution). Go randomizes
+// map iteration order per run, so any map range whose body appends
+// records to an output slice, writes encoded bytes, or sends on a
+// channel injects nondeterminism straight into data that crosses node
+// boundaries. The fix is the sortedIDs pattern: collect keys, sort,
+// then iterate — or sort the produced slice afterwards.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fudj/internal/analysis/framework"
+)
+
+// Analyzer is the maporder rule.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc: "flags map iterations that emit records, encoded bytes, or channel sends " +
+		"without an intervening deterministic sort",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc scans one function body for map ranges with emitting
+// bodies, then looks for a sanitizing sort after each offending loop.
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	type offense struct {
+		rng  *ast.RangeStmt
+		dest *ast.Ident // slice receiving appends, if identifiable
+		what string
+	}
+	var offenses []offense
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		dest, what := emission(pass, rng.Body)
+		if what != "" {
+			offenses = append(offenses, offense{rng: rng, dest: dest, what: what})
+		}
+		return true
+	})
+
+	for _, off := range offenses {
+		if off.dest != nil && sortedAfter(pass, body, off.rng.End(), off.dest) {
+			continue
+		}
+		pass.Reportf(off.rng.For,
+			"map iteration %s without a deterministic sort; iterate sorted keys or sort the result "+
+				"(map order breaks retry/speculation equivalence)", off.what)
+	}
+}
+
+// emission reports whether the loop body emits order-sensitive output:
+// appends to a records slice, writes through an encoder, or sends on a
+// channel. It returns the destination identifier for the append case so
+// a later sort over it can absolve the loop.
+func emission(pass *framework.Pass, body *ast.BlockStmt) (dest *ast.Ident, what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			what = "sends on a channel"
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				if isRecordSlice(pass.TypesInfo.TypeOf(n.Args[0])) {
+					what = "appends records to the output"
+					if d, ok := n.Args[0].(*ast.Ident); ok {
+						dest = d
+					}
+					return false
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isEncoderMethod(pass, sel) {
+				what = "writes encoded output"
+				return false
+			}
+		}
+		return true
+	})
+	return dest, what
+}
+
+// isRecordSlice reports whether t is a slice whose element type is the
+// engine's record type (a named type called Record, in any package).
+func isRecordSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Record"
+}
+
+// isEncoderMethod reports whether sel is a method call on a wire-style
+// Encoder value.
+func isEncoderMethod(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Encoder"
+}
+
+// sortedAfter reports whether dest is passed to a sort.* / slices.*
+// call positioned after pos in the enclosing function body.
+func sortedAfter(pass *framework.Pass, body *ast.BlockStmt, pos token.Pos, dest *ast.Ident) bool {
+	destObj := pass.TypesInfo.ObjectOf(dest)
+	if destObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= pos {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.TypesInfo.ObjectOf(pkg).(*types.PkgName); !ok ||
+			(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == destObj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"fudj/internal/analysis/framework"
+	"fudj/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	framework.RunTest(t, "testdata", maporder.Analyzer, "a")
+}

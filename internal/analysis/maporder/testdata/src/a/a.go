@@ -1,0 +1,80 @@
+// Fixture for the maporder analyzer: map iterations that emit
+// record-shaped or encoded output must sort, one way or another.
+package a
+
+import "sort"
+
+type Record []int
+
+// Encoder stands in for wire.Encoder (matched by type name).
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) Uint64(v uint64) {}
+
+func flaggedAppend(m map[string]Record) []Record {
+	var out []Record
+	for _, v := range m { // want `map iteration appends records to the output`
+		out = append(out, v)
+	}
+	return out
+}
+
+func okSortedKeys(m map[string]Record) []Record {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Record
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func okSortedAfter(m map[string]Record) []Record {
+	var out []Record
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}
+
+func flaggedSend(m map[string]int, ch chan int) {
+	for _, v := range m { // want `map iteration sends on a channel`
+		ch <- v
+	}
+}
+
+func flaggedEncode(m map[string]uint64, e *Encoder) {
+	for _, v := range m { // want `map iteration writes encoded output`
+		e.Uint64(v)
+	}
+}
+
+func okPlainSlice(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+func suppressedAppend(m map[string]Record) []Record {
+	var out []Record
+	//fudjvet:ignore maporder -- fixture: caller re-sorts the batch
+	for _, v := range m { // suppressed
+		out = append(out, v)
+	}
+	return out
+}
+
+func badDirective(m map[string]Record) []Record {
+	var out []Record
+	//fudjvet:ignore maporder // want `unexplained suppressions are not allowed`
+	for _, v := range m { // want `map iteration appends records to the output`
+		out = append(out, v)
+	}
+	return out
+}

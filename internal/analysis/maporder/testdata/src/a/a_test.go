@@ -1,0 +1,10 @@
+// Test files are exempt: production invariants only.
+package a
+
+func testOnlyHelper(m map[string]Record) []Record {
+	var out []Record
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

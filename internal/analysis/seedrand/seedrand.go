@@ -1,0 +1,103 @@
+// Package seedrand forbids unseedable nondeterminism sources — wall
+// clock reads and the global math/rand generator — in the execution
+// packages.
+//
+// Invariant: fault injection, retry, and speculative re-execution must
+// replay bit-for-bit from a seed (internal/cluster's FaultInjector
+// derives every decision from Seed and the fault site). A time.Now()
+// or global rand call in cluster, engine, or wire code threads
+// irreproducible state into execution decisions, so a chaos failure
+// could never be replayed. Deliberately wall-clock things (busy-time
+// metrics, phase timers) carry a //fudjvet:ignore with a reason stating
+// that the value feeds observability only, never a decision.
+package seedrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fudj/internal/analysis/framework"
+)
+
+// DefaultRestricted lists the package paths (and their subtrees) in
+// which the rule applies: the execution substrate whose behavior must
+// replay from a seed.
+var DefaultRestricted = []string{
+	"fudj/internal/cluster",
+	"fudj/internal/engine",
+	"fudj/internal/wire",
+}
+
+// Analyzer is the seedrand rule over the default restricted packages.
+var Analyzer = New(DefaultRestricted)
+
+// randConstructors are the math/rand selectors that build independent,
+// explicitly seeded generators; they are the sanctioned alternative,
+// not a finding.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+	// Types and constants referenced via the package are fine too.
+	"Rand": true, "Source": true, "Zipf": true, "PCG": true, "ChaCha8": true,
+}
+
+// New returns a seedrand analyzer restricted to the given package paths
+// (each covering its subtree). Tests use this to point the rule at
+// fixture packages.
+func New(restricted []string) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name: "seedrand",
+		Doc: "forbids time.Now and the global math/rand generator in execution packages; " +
+			"replayable behavior must derive from a seed",
+		Run: func(pass *framework.Pass) error { return run(pass, restricted) },
+	}
+}
+
+func restrictedPath(path string, restricted []string) bool {
+	for _, r := range restricted {
+		if path == r || strings.HasPrefix(path, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *framework.Pass, restricted []string) error {
+	if !restrictedPath(pass.Pkg.Path(), restricted) {
+		return nil
+	}
+	for _, file := range pass.NonTestFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.ObjectOf(pkgIdent).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if sel.Sel.Name == "Now" {
+					pass.Reportf(sel.Pos(),
+						"time.Now in %s: execution decisions must replay from a seed; "+
+							"inject a clock or annotate metrics-only uses", pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand.%s in %s: shared-source randomness is not replayable; "+
+							"use a seeded rand.New(rand.NewSource(seed)) or derive from FaultConfig.Seed",
+						sel.Sel.Name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

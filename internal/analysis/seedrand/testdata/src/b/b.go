@@ -1,0 +1,9 @@
+// Fixture outside the restricted package set: the same constructs are
+// not findings here.
+package b
+
+import "time"
+
+func unrestrictedNow() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,85 @@
+// Fixture for the udfcatch analyzer: every call into user-defined join
+// code must run under a deferred panic guard.
+package a
+
+// Join models the core.Join interface surface (matched by interface
+// dispatch on UDF method names).
+type Join interface {
+	Assign(side int, key any) []int
+	Match(b1, b2 int) bool
+	Verify(b1 int, k1 any, b2 int, k2 any) bool
+}
+
+// Spec models the typed translation layer's user-function fields.
+type Spec struct {
+	Name  string
+	Match func(a, b int) bool
+}
+
+// CatchPanic stands in for core.CatchPanic (matched by name).
+func CatchPanic(name string, err *error) {}
+
+func flaggedVerify(j Join) bool {
+	return j.Verify(1, nil, 2, nil) // want `call to user-defined Verify`
+}
+
+func flaggedField(s *Spec) bool {
+	return s.Match(1, 2) // want `call to user-defined Match`
+}
+
+func flaggedGuardAfter(j Join) (err error) {
+	_ = j.Match(1, 2) // want `call to user-defined Match`
+	defer CatchPanic("q", &err)
+	return nil
+}
+
+func okGuarded(j Join) (res bool, err error) {
+	defer CatchPanic("q", &err)
+	res = j.Verify(1, nil, 2, nil)
+	return res, err
+}
+
+func okGuardedClosure(j Join) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	return j.Match(1, 2)
+}
+
+// okNestedClosure: the guard sits in an enclosing closure; the UDF call
+// is inside a deeper one. Lexical domination still holds.
+func okNestedClosure(j Join) error {
+	run := func() (err error) {
+		defer CatchPanic("q", &err)
+		inner := func() bool { return j.Match(1, 2) }
+		_ = inner()
+		return nil
+	}
+	return run()
+}
+
+// matcher has a concrete method that happens to be named Match; only
+// interface dispatch is a UDF boundary.
+type matcher struct{}
+
+func (matcher) Match(a, b int) bool { return a == b }
+
+func okConcrete(m matcher) bool {
+	return m.Match(1, 2)
+}
+
+// wrapped.Verify is itself a UDF entry point forwarding to the inner
+// join — the translation-layer exemption: the guard obligation attaches
+// to its callers.
+type wrapped struct{ j Join }
+
+func (w wrapped) Verify(b1 int, k1 any, b2 int, k2 any) bool {
+	return w.j.Verify(b1, k1, b2, k2)
+}
+
+func suppressedCall(j Join) bool {
+	//fudjvet:ignore udfcatch -- fixture: caller installs the guard
+	return j.Match(1, 2) // suppressed
+}

@@ -1,0 +1,178 @@
+// Package udfcatch verifies that every call into user-defined join
+// code is dominated by a deferred panic guard.
+//
+// Invariant: a FUDJ library author's SUMMARIZE/DIVIDE/ASSIGN/MATCH/
+// VERIFY/DEDUP implementations are untrusted code running inside
+// worker tasks. A panic that escapes a partition task kills the whole
+// process instead of failing the one query with a structured
+// *core.UDFError, defeating retry and speculation. Every call site of
+// a user function must therefore execute under a deferred
+// core.CatchPanic (or an explicit deferred recover), installed in the
+// same function or in a lexically enclosing one before the call.
+//
+// The typed translation layer (core/typed.go) is exempt where a method
+// that *is* one of the guarded entry points (e.g. wrapped.Verify)
+// forwards to the user's function field: the guard obligation attaches
+// to its own callers, which this rule checks.
+package udfcatch
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fudj/internal/analysis/framework"
+)
+
+// Analyzer is the udfcatch rule.
+var Analyzer = &framework.Analyzer{
+	Name: "udfcatch",
+	Doc: "every call to a user-defined join function must be dominated by a deferred " +
+		"core.CatchPanic so a UDF panic fails the query, not the worker",
+	Run: run,
+}
+
+// udfMethods are the core.Join interface methods that execute user
+// code. Calls to these on an interface value are the engine's UDF
+// entry points.
+var udfMethods = map[string]bool{
+	"Assign": true, "Match": true, "Verify": true, "Dedup": true,
+	"LocalAggregate": true, "GlobalAggregate": true, "Divide": true,
+	"LocalJoin": true,
+}
+
+// udfFields are user-supplied function-typed struct fields (the typed
+// Spec surface) whose invocation runs user code directly.
+var udfFields = map[string]bool{
+	"Assign": true, "AssignLeft": true, "AssignRight": true,
+	"Match": true, "Verify": true, "Dedup": true, "DedupFn": true,
+	"LocalAggregate": true, "LocalAggLeft": true, "LocalAggRight": true,
+	"GlobalAggregate": true, "GlobalAgg": true,
+	"Divide": true, "LocalJoin": true,
+}
+
+// funcCtx is one function (declaration or literal) on the lexical
+// nesting stack, with the position of the earliest panic guard seen in
+// it so far.
+type funcCtx struct {
+	node     ast.Node
+	guardPos token.Pos // NoPos until a deferred guard is seen
+	exempt   bool      // a UDF-named method: forwarding layer
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := fd.Recv != nil && udfMethods[fd.Name.Name]
+			walk(pass, fd.Body, []*funcCtx{{node: fd, exempt: exempt}})
+		}
+	}
+	return nil
+}
+
+// walk traverses stmts in source order, maintaining the stack of
+// enclosing functions. Defers are recorded when encountered, so a
+// guard textually preceding a call is visible at the call site.
+func walk(pass *framework.Pass, n ast.Node, stack []*funcCtx) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.DeferStmt:
+			if isGuard(node.Call) {
+				top := stack[len(stack)-1]
+				if top.guardPos == token.NoPos {
+					top.guardPos = node.Pos()
+				}
+			}
+		case *ast.FuncLit:
+			walk(pass, node.Body, append(stack, &funcCtx{node: node}))
+			return false // handled by the recursive walk
+		case *ast.CallExpr:
+			checkCall(pass, node, stack)
+		}
+		return true
+	})
+}
+
+// checkCall reports a UDF call with no dominating guard on the stack.
+func checkCall(pass *framework.Pass, call *ast.CallExpr, stack []*funcCtx) {
+	name, ok := udfCallee(pass, call)
+	if !ok {
+		return
+	}
+	for _, fc := range stack {
+		if fc.exempt {
+			return
+		}
+		if fc.guardPos != token.NoPos && fc.guardPos < call.Pos() {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"call to user-defined %s is not dominated by a deferred core.CatchPanic; "+
+			"a UDF panic here kills the worker instead of failing the query", name)
+}
+
+// udfCallee reports whether call invokes user-defined join code,
+// returning a human-readable name for it.
+func udfCallee(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	switch s.Kind() {
+	case types.MethodVal:
+		if !udfMethods[sel.Sel.Name] {
+			return "", false
+		}
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		// Only interface dispatch is a UDF boundary: a concrete method
+		// named Match on some unrelated type is not user join code.
+		if _, ok := recv.Underlying().(*types.Interface); !ok {
+			return "", false
+		}
+		return sel.Sel.Name, true
+	case types.FieldVal:
+		if !udfFields[sel.Sel.Name] {
+			return "", false
+		}
+		if _, ok := s.Type().Underlying().(*types.Signature); !ok {
+			return "", false
+		}
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isGuard recognizes a deferred panic guard: a call to a function
+// named CatchPanic, or a deferred closure containing recover().
+func isGuard(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "CatchPanic"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "CatchPanic"
+	case *ast.FuncLit:
+		found := false
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "recover" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}

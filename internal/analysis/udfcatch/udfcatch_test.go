@@ -1,0 +1,12 @@
+package udfcatch_test
+
+import (
+	"testing"
+
+	"fudj/internal/analysis/framework"
+	"fudj/internal/analysis/udfcatch"
+)
+
+func TestUDFCatch(t *testing.T) {
+	framework.RunTest(t, "testdata", udfcatch.Analyzer, "a")
+}

@@ -551,7 +551,7 @@ func runTask[T any](c *Cluster, ctx context.Context, epoch int64, part int, in [
 				return zero, ctx.Err()
 			}
 		}
-		start := time.Now()
+		start := time.Now() //fudjvet:ignore seedrand -- busy-time metric only; never feeds an execution decision
 		res, err := runAttempt(c, ctx, epoch, part, attempt, in, f)
 		c.metrics.addBusy(part, time.Since(start))
 		if err == nil {

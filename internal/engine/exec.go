@@ -14,7 +14,7 @@ import (
 
 // run executes a planned query on a fresh cluster instance.
 func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //fudjvet:ignore seedrand -- query wall-clock metric only; never feeds an execution decision
 	clus := cluster.New(db.opts.Cluster)
 	clus.SetContext(ctx)
 	if db.retryPol != nil {

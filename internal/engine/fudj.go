@@ -47,7 +47,7 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 	}
 
 	// ---- SUMMARIZE ----
-	phaseStart := time.Now()
+	phaseStart := time.Now() //fudjvet:ignore seedrand -- phase-timing metric only; never feeds an execution decision
 	summarize := func(side core.Side, data cluster.Data, key expr.Evaluator) (core.Summary, error) {
 		locals, err := cluster.RunValues(clus, data, func(part int, in []types.Record) (buf []byte, err error) {
 			rec := -1
@@ -135,7 +135,7 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 	}
 
 	counters.summarize.Add(int64(time.Since(phaseStart)))
-	phaseStart = time.Now()
+	phaseStart = time.Now() //fudjvet:ignore seedrand -- phase-timing metric only; never feeds an execution decision
 
 	// ---- PARTITION (assign + unnest) ----
 	// Records are extended with leading metadata columns:
@@ -198,7 +198,7 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 	}
 
 	counters.partition.Add(int64(time.Since(phaseStart)))
-	phaseStart = time.Now()
+	phaseStart = time.Now() //fudjvet:ignore seedrand -- phase-timing metric only; never feeds an execution decision
 
 	// ---- COMBINE ----
 	if err := ctx.Err(); err != nil {
@@ -219,6 +219,7 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 				counters.deduped.Add(1)
 				return out
 			}
+			//fudjvet:ignore udfcatch -- accept runs only inside COMBINE partition closures that defer core.CatchPanic
 		} else if applyDedup && !join.Dedup(b1, l[1].Native(), b2, r[1].Native(), plan) {
 			counters.deduped.Add(1)
 			return out
@@ -246,6 +247,7 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 				rk[i] = rec[1].Native()
 			}
 			counters.candidates.Add(int64(len(ls)) * int64(len(rs)))
+			//fudjvet:ignore udfcatch -- combineBuckets runs only inside COMBINE partition closures that defer core.CatchPanic
 			join.LocalJoin(b1, lk, b2, rk, plan, func(i, k int) {
 				counters.verified.Add(1)
 				out = accept(out, ls[i], rs[k])
@@ -256,6 +258,7 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 			k1 := l[1].Native()
 			for _, r := range rs {
 				counters.candidates.Add(1)
+				//fudjvet:ignore udfcatch -- combineBuckets runs only inside COMBINE partition closures that defer core.CatchPanic
 				if !join.Verify(b1, k1, b2, r[1].Native(), plan) {
 					continue
 				}

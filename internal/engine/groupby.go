@@ -209,6 +209,10 @@ func (p *queryPlan) runGroupBy(clus *cluster.Cluster, data cluster.Data, schema 
 			states []*aggState
 		}
 		groups := make(map[string]*group)
+		// Emit partials in first-seen group order, not map order: the
+		// partials feed the shuffle, and retried or speculated attempts
+		// must produce byte-identical output (fudjvet: maporder).
+		var order []string
 		for _, rec := range in {
 			gvals := make([]types.Value, nG)
 			for i, ev := range groupEvals {
@@ -226,6 +230,7 @@ func (p *queryPlan) runGroupBy(clus *cluster.Cluster, data cluster.Data, schema 
 					g.states[i] = &aggState{}
 				}
 				groups[k] = g
+				order = append(order, k)
 			}
 			for i, a := range p.aggs {
 				v, err := argEvals[i](rec)
@@ -238,7 +243,8 @@ func (p *queryPlan) runGroupBy(clus *cluster.Cluster, data cluster.Data, schema 
 			}
 		}
 		out := make([]types.Record, 0, len(groups))
-		for _, g := range groups {
+		for _, k := range order {
+			g := groups[k]
 			row := append([]types.Value{}, g.vals...)
 			for _, st := range g.states {
 				row = append(row, st.encodePartial()...)

@@ -118,8 +118,13 @@ func IntervalOIP(c *cluster.Cluster, left cluster.Data, leftKey expr.Evaluator,
 		lBuckets := groupByBucket(lRepl[part])
 		rBuckets := groupByBucket(in)
 		var out []types.Record
-		for b1, ls := range lBuckets {
-			for b2, rs := range rBuckets {
+		// Walk buckets in sorted-id order so emitted record order is
+		// identical across retried attempts (fudjvet: maporder).
+		rOrder := sortedBuckets(rBuckets)
+		for _, b1 := range sortedBuckets(lBuckets) {
+			ls := lBuckets[b1]
+			for _, b2 := range rOrder {
+				rs := rBuckets[b2]
 				if !interval.BucketsOverlap(b1, b2) {
 					continue
 				}

@@ -115,7 +115,10 @@ func TextSimilarity(c *cluster.Cluster, left cluster.Data, leftKey expr.Evaluato
 		lBuckets := groupByBucket(in)
 		rBuckets := groupByBucket(rShuf[part])
 		var out []types.Record
-		for rank, ls := range lBuckets {
+		// Walk ranks in sorted order so emitted record order is
+		// identical across retried attempts (fudjvet: maporder).
+		for _, rank := range sortedBuckets(lBuckets) {
+			ls := lBuckets[rank]
 			rs, ok := rBuckets[rank]
 			if !ok {
 				continue

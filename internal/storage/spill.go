@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"fudj/internal/types"
+	"fudj/internal/wire"
 )
 
 // spillFrameTarget is the encoded size at which a RunWriter seals the
@@ -111,8 +112,9 @@ func (rw *RunWriter) Remove() error {
 
 // RunReader streams a spill run back frame by frame.
 type RunReader struct {
-	f *os.File
-	r *bufio.Reader
+	f    *os.File
+	r    *bufio.Reader
+	size int64 // total file size, bounds any frame's claimed length
 }
 
 // OpenRun opens a run file written by RunWriter for streaming.
@@ -121,13 +123,20 @@ func OpenRun(path string) (*RunReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open spill run: %w", err)
 	}
-	return &RunReader{f: f, r: bufio.NewReader(f)}, nil
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat spill run: %w", err)
+	}
+	return &RunReader{f: f, r: bufio.NewReader(f), size: fi.Size()}, nil
 }
 
 // Next returns the next frame's records, or io.EOF after the last
 // frame. Memory use is bounded by the largest single frame.
 func (rr *RunReader) Next() ([]types.Record, error) {
-	size, err := binary.ReadUvarint(rr.r)
+	// A frame cannot be larger than the file that holds it, so a
+	// corrupted header errors before allocating for the payload.
+	size, err := wire.ReadUvarintCount(rr.r, rr.size, 1)
 	if err != nil {
 		if err == io.EOF {
 			return nil, io.EOF

@@ -147,3 +147,44 @@ func TestSpillRunRemove(t *testing.T) {
 	// Remove is idempotent.
 	w.Remove()
 }
+
+func TestSpillRunCorruptFrameHeader(t *testing.T) {
+	// A corrupted frame header claiming more bytes than the whole run
+	// file must error out of Next before the payload is allocated
+	// (boundedalloc: sizes from decoded prefixes flow through
+	// wire.ReadUvarintCount).
+	w, err := NewRunWriter(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range spillBatch(10, 50) {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite the first frame's length prefix with an absurd uvarint
+	// (~2^62 bytes).
+	f, err := os.OpenFile(w.Path(), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f}, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := OpenRun(w.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); err == nil {
+		t.Fatal("corrupt frame header decoded successfully")
+	} else if errors.Is(err, io.EOF) {
+		t.Fatalf("corrupt frame header read as EOF: %v", err)
+	}
+}

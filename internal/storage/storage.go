@@ -63,7 +63,9 @@ func ReadDataset(r io.Reader) (name string, schema *types.Schema, recs []types.R
 	if name, err = d.String(); err != nil {
 		return "", nil, nil, err
 	}
-	nFields, err := d.Uvarint()
+	// Each field costs at least two bytes (name length prefix + kind),
+	// so a corrupt count larger than the file errors before allocating.
+	nFields, err := d.UvarintCount(2)
 	if err != nil {
 		return "", nil, nil, err
 	}
@@ -79,7 +81,8 @@ func ReadDataset(r io.Reader) (name string, schema *types.Schema, recs []types.R
 		fields[i].Kind = types.Kind(kind)
 	}
 	schema = types.NewSchema(fields...)
-	nRecs, err := d.Uvarint()
+	// Every record needs at least one byte of payload.
+	nRecs, err := d.UvarintCount(1)
 	if err != nil {
 		return "", nil, nil, err
 	}

@@ -1,8 +1,11 @@
 package types
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"fudj/internal/wire"
 )
 
 // The shuffle layer relies on DecodeRecords rejecting damaged payloads
@@ -52,8 +55,8 @@ func TestDecodeRecordsAbsurdCount(t *testing.T) {
 	if err == nil {
 		t.Fatal("absurd record count decoded successfully")
 	}
-	if !strings.Contains(err.Error(), "claims") {
-		t.Errorf("want the claimed-count error, got: %v", err)
+	if !errors.Is(err, wire.ErrShortBuffer) {
+		t.Errorf("want the bounded-count error (wire.ErrShortBuffer), got: %v", err)
 	}
 }
 

@@ -148,15 +148,12 @@ func EncodeRecords(recs []Record) []byte {
 // DecodeRecords decodes a batch encoded by EncodeRecords.
 func DecodeRecords(buf []byte) ([]Record, error) {
 	d := wire.NewDecoder(buf)
-	n, err := d.Uvarint()
+	// Every record needs at least one byte, so UvarintCount rejects a
+	// corrupted header claiming more records than the buffer can hold
+	// before anything is allocated for them.
+	n, err := d.UvarintCount(1)
 	if err != nil {
-		return nil, err
-	}
-	// A corrupted header can claim an absurd record count; every record
-	// needs at least one byte, so reject counts the buffer cannot hold
-	// before allocating for them.
-	if n > uint64(d.Remaining()) {
-		return nil, fmt.Errorf("types: record batch claims %d records but only %d bytes follow", n, d.Remaining())
+		return nil, fmt.Errorf("types: record batch count: %w", err)
 	}
 	out := make([]Record, n)
 	for i := range out {

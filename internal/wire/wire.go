@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 )
 
@@ -163,6 +164,27 @@ func (d *Decoder) UvarintCount(minElemSize int) (int, error) {
 	if n > uint64(d.Remaining()/minElemSize) {
 		return 0, fmt.Errorf("wire: count %d exceeds the %d remaining bytes: %w",
 			n, d.Remaining(), ErrShortBuffer)
+	}
+	return int(n), nil
+}
+
+// ReadUvarintCount is the streaming analogue of UvarintCount: it reads
+// an element count from r and rejects counts that claim more than
+// remaining/minElemSize elements, which the input cannot possibly
+// hold. Stream decoders (e.g. spill-run readers) must size allocations
+// with this so a corrupted length prefix produces an error, never a
+// giant allocation.
+func ReadUvarintCount(r io.ByteReader, remaining int64, minElemSize int) (int, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if remaining < 0 || n > uint64(remaining)/uint64(minElemSize) {
+		return 0, fmt.Errorf("wire: count %d exceeds the %d remaining bytes: %w",
+			n, remaining, ErrShortBuffer)
 	}
 	return int(n), nil
 }
