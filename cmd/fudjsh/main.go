@@ -14,16 +14,19 @@ import (
 	"fmt"
 	"os"
 
+	"fudj"
 	"fudj/internal/shell"
 )
 
 func main() {
 	var (
-		command = flag.String("c", "", "statements to execute and exit")
-		records = flag.Int("records", 2000, "records per demo dataset")
-		nodes   = flag.Int("nodes", 4, "simulated cluster nodes")
-		cores   = flag.Int("cores", 2, "cores per node")
-		noData  = flag.Bool("empty", false, "start with no demo datasets")
+		command  = flag.String("c", "", "statements to execute and exit")
+		records  = flag.Int("records", 2000, "records per demo dataset")
+		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
+		cores    = flag.Int("cores", 2, "cores per node")
+		noData   = flag.Bool("empty", false, "start with no demo datasets")
+		doTrace  = flag.Bool("trace", false, "collect and print execution spans (with -c)")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace JSON for the last -c query")
 	)
 	flag.Parse()
 
@@ -36,7 +39,16 @@ func main() {
 	}
 
 	if *command != "" {
-		if err := shell.ExecuteAll(db, os.Stdout, *command); err != nil {
+		var opts []fudj.ExecOption
+		if *doTrace || *traceOut != "" {
+			opts = append(opts, fudj.Trace())
+		}
+		if *traceOut != "" {
+			err = shell.ExecuteAllChrome(db, os.Stdout, *command, *traceOut, opts...)
+		} else {
+			err = shell.ExecuteAll(db, os.Stdout, *command, opts...)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "fudjsh:", err)
 			os.Exit(1)
 		}

@@ -26,7 +26,7 @@ import (
 	"fudj/internal/analysis/framework"
 )
 
-const version = "fudjvet version v1.0.0"
+const version = "fudjvet version v1.1.0"
 
 func main() {
 	args := os.Args[1:]

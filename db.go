@@ -4,23 +4,60 @@ import (
 	"fudj/internal/cluster"
 	"fudj/internal/core"
 	"fudj/internal/engine"
+	"fudj/internal/trace"
 )
 
 // DB is a database instance: catalog, optimizer, and the simulated
 // shared-nothing cluster queries execute on.
 type DB = engine.Database
 
+// Option configures a DB at Open time. Options are applied in order;
+// the first error aborts Open.
+type Option = engine.Option
+
 // Options configure a DB.
+//
+// Deprecated: pass functional options to Open instead, e.g.
+// Open(WithCluster(4, 2)). Options is kept for one release as a
+// compatibility shim; it implements Option.
 type Options = engine.Options
 
 // ClusterConfig sizes the simulated cluster (nodes × cores per node).
 type ClusterConfig = cluster.Config
 
-// Result is the outcome of one executed statement.
+// Result is the outcome of one executed statement. Counters are
+// grouped: Result.Join (operator counters), Result.Cluster (data
+// movement and makespan), Result.Faults (injected-fault recovery),
+// Result.Memory (budget accounting), and Result.Trace (the span tree
+// when tracing was enabled).
 type Result = engine.Result
 
+// JoinStats carries operator-level counters for one execution.
+type JoinStats = engine.JoinStats
+
+// ClusterStats carries data-movement and makespan counters.
+type ClusterStats = engine.ClusterStats
+
+// FaultStats counts fault-injection recoveries.
+type FaultStats = engine.FaultStats
+
+// MemoryStats reports memory-budget accounting.
+type MemoryStats = engine.MemoryStats
+
 // QueryStats carries operator-level counters for one execution.
+//
+// Deprecated: use JoinStats (Result.Join).
 type QueryStats = engine.Stats
+
+// Span is one node of an execution trace; Result.Trace is the root.
+type Span = trace.Span
+
+// Clock supplies timestamps to the engine; inject a fake for
+// deterministic tests via WithClock.
+type Clock = trace.Clock
+
+// ExecOption adjusts a single Execute/ExecuteContext call.
+type ExecOption = engine.ExecOption
 
 // JoinMode selects how FUDJ predicates execute.
 type JoinMode = engine.JoinMode
@@ -39,11 +76,11 @@ const (
 type BuiltinJoinFunc = engine.BuiltinJoinFunc
 
 // FaultConfig describes faults to inject into query executions
-// (deterministic and seedable); arm it with DB.SetFaultConfig.
+// (deterministic and seedable); arm it with WithFaults.
 type FaultConfig = cluster.FaultConfig
 
 // RetryPolicy governs task retry, backoff, and straggler speculation;
-// override the default with DB.SetRetryPolicy.
+// override the default with WithRetryPolicy.
 type RetryPolicy = cluster.RetryPolicy
 
 // FaultError is an injected infrastructure failure (retryable).
@@ -57,17 +94,61 @@ type PartitionError = cluster.PartitionError
 // It is deterministic, so the retry machinery does not re-run it.
 type ResourceError = core.ResourceError
 
-// Open creates a database.
-func Open(opts Options) (*DB, error) { return engine.Open(opts) }
+// Open creates a database. With no options it simulates a 4-node ×
+// 2-core cluster. Example:
+//
+//	db, err := fudj.Open(fudj.WithCluster(8, 4), fudj.WithTracing())
+func Open(opts ...Option) (*DB, error) { return engine.Open(opts...) }
 
 // MustOpen is Open that panics on error.
-func MustOpen(opts Options) *DB { return engine.MustOpen(opts) }
+func MustOpen(opts ...Option) *DB { return engine.MustOpen(opts...) }
+
+// WithCluster sizes the simulated cluster (nodes × cores per node).
+func WithCluster(nodes, coresPerNode int) Option {
+	return engine.WithCluster(nodes, coresPerNode)
+}
+
+// WithClusterConfig applies a full cluster configuration.
+func WithClusterConfig(cfg ClusterConfig) Option { return engine.WithClusterConfig(cfg) }
+
+// WithJoinMode selects how FUDJ predicates execute.
+func WithJoinMode(m JoinMode) Option { return engine.WithJoinMode(m) }
+
+// WithSmartTheta toggles the optimizer's theta-join rewrite.
+func WithSmartTheta(on bool) Option { return engine.WithSmartTheta(on) }
+
+// WithMemoryBudget caps per-query memory; queries spill past it.
+// Zero means unbounded.
+func WithMemoryBudget(bytes int64) Option { return engine.WithMemoryBudget(bytes) }
+
+// WithFaults arms deterministic fault injection; nil disables it.
+func WithFaults(cfg *FaultConfig) Option { return engine.WithFaults(cfg) }
+
+// WithRetryPolicy overrides task retry, backoff, and speculation.
+func WithRetryPolicy(pol RetryPolicy) Option { return engine.WithRetryPolicy(pol) }
+
+// WithTracing enables span collection for every query; each Result
+// then carries a Trace tree.
+func WithTracing() Option { return engine.WithTracing() }
+
+// WithClock injects the engine's time source (for deterministic
+// tests; the default is the wall clock).
+func WithClock(c Clock) Option { return engine.WithClock(c) }
+
+// Trace enables span collection for one Execute call:
+//
+//	res, err := db.ExecuteContext(ctx, sql, fudj.Trace())
+func Trace() ExecOption { return engine.Trace() }
 
 // DefaultOptions returns a laptop-scale cluster configuration
 // (4 nodes × 2 cores).
+//
+// Deprecated: call Open with no options, or use WithCluster.
 func DefaultOptions() Options { return engine.DefaultOptions() }
 
 // OptionsFor returns options for an explicit cluster shape.
+//
+// Deprecated: use WithCluster(nodes, coresPerNode).
 func OptionsFor(nodes, coresPerNode int) Options {
 	return Options{Cluster: ClusterConfig{Nodes: nodes, CoresPerNode: coresPerNode}}
 }

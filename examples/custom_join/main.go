@@ -103,7 +103,7 @@ func newDistanceJoin() fudj.Join {
 }
 
 func main() {
-	db := fudj.MustOpen(fudj.OptionsFor(4, 2))
+	db := fudj.MustOpen(fudj.WithCluster(4, 2))
 
 	// Sensors = the wildfire points; find close pairs from different years.
 	if err := fudj.LoadGenerated(db, "wildfires", fudj.GenWildfires(31, 4000)); err != nil {
@@ -129,7 +129,7 @@ func main() {
 	}
 	fmt.Printf("2020-fire / 2023-fire pairs within distance 5: %v\n", res.Rows[0][0])
 	fmt.Printf("FUDJ:   %v (%d candidates -> %d verified)\n",
-		res.Elapsed, res.Stats.Candidates, res.Stats.Verified)
+		res.Elapsed, res.Join.Candidates, res.Join.Verified)
 
 	// Cross-check against the on-top formulation.
 	onTop := `
@@ -141,7 +141,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("on-top: %v (%d candidates)\n", res2.Elapsed, res2.Stats.Candidates)
+	fmt.Printf("on-top: %v (%d candidates)\n", res2.Elapsed, res2.Join.Candidates)
 	if res.Rows[0][0].Int64() != res2.Rows[0][0].Int64() {
 		log.Fatalf("MISMATCH: FUDJ %v vs on-top %v", res.Rows[0][0], res2.Rows[0][0])
 	}

@@ -31,7 +31,7 @@ func main() {
 	fmt.Printf("exported %d rides to %s\n", len(rides.Records), tsvPath)
 
 	// 2. Import the TSV into a fresh database.
-	db := fudj.MustOpen(fudj.OptionsFor(2, 2))
+	db := fudj.MustOpen(fudj.WithCluster(2, 2))
 	f, err := os.Open(tsvPath)
 	if err != nil {
 		log.Fatal(err)
@@ -68,7 +68,7 @@ func main() {
 	if err := fudj.SaveDataset(db, "busy_rides", binPath); err != nil {
 		log.Fatal(err)
 	}
-	db2 := fudj.MustOpen(fudj.OptionsFor(1, 2))
+	db2 := fudj.MustOpen(fudj.WithCluster(1, 2))
 	if err := fudj.LoadDataset(db2, "busy_rides", binPath); err != nil {
 		log.Fatal(err)
 	}

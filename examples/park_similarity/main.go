@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	db := fudj.MustOpen(fudj.OptionsFor(4, 2))
+	db := fudj.MustOpen(fudj.WithCluster(4, 2))
 
 	if err := fudj.LoadGenerated(db, "parks", fudj.GenParks(11, 3000)); err != nil {
 		log.Fatal(err)
@@ -64,7 +64,7 @@ func main() {
 			row[0], row[1], row[2].Float64())
 	}
 	fmt.Printf("\nQuery 2 ran in %v: %d candidate pairs -> %d similar, of %d×%d possible\n",
-		q2.Elapsed, q2.Stats.Candidates, q2.Stats.Verified, len(q1.Rows), 3000)
+		q2.Elapsed, q2.Join.Candidates, q2.Join.Verified, len(q1.Rows), 3000)
 
 	// The on-top equivalent evaluates Jaccard on every pair; run it on a
 	// subset to show the gap without waiting.
@@ -78,7 +78,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("on-top on a 10%% sample: %v for %d candidates — the full dataset costs ~10x that\n",
-		onTop.Elapsed, onTop.Stats.Candidates)
+		onTop.Elapsed, onTop.Join.Candidates)
 }
 
 func mustExec(db *fudj.DB, sql string) {

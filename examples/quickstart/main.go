@@ -117,7 +117,7 @@ func main() {
 	lib := fudj.NewLibrary("mylib")
 	lib.MustRegister("quickstart.RangeJoin", newRangeJoin)
 
-	db := fudj.MustOpen(fudj.DefaultOptions())
+	db := fudj.MustOpen(fudj.WithCluster(4, 2))
 	if err := db.InstallLibrary(lib); err != nil {
 		log.Fatal(err)
 	}

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	db := fudj.MustOpen(fudj.OptionsFor(4, 2))
+	db := fudj.MustOpen(fudj.WithCluster(4, 2))
 
 	if err := fudj.LoadGenerated(db, "trips", fudj.GenTrajectories(55, 2500)); err != nil {
 		log.Fatal(err)
@@ -41,7 +41,7 @@ func main() {
 		fmt.Printf("  vehicle %-6v %v encounters\n", row[0], row[1])
 	}
 	fmt.Printf("\nFUDJ:   %v (%d candidates -> %d verified)\n",
-		res.Elapsed, res.Stats.Candidates, res.Stats.Verified)
+		res.Elapsed, res.Join.Candidates, res.Join.Verified)
 
 	// The on-top arm computes the exact polyline distance on every
 	// class-1 × class-2 pair.
@@ -57,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("on-top: %v (%d candidates)\n", ref.Elapsed, ref.Stats.Candidates)
+	fmt.Printf("on-top: %v (%d candidates)\n", ref.Elapsed, ref.Join.Candidates)
 	if fmt.Sprint(res.Rows) != fmt.Sprint(ref.Rows) {
 		log.Fatal("MISMATCH between FUDJ and on-top results")
 	}

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	db := fudj.MustOpen(fudj.OptionsFor(4, 2))
+	db := fudj.MustOpen(fudj.WithCluster(4, 2))
 
 	if err := fudj.LoadGenerated(db, "parks", fudj.GenParks(21, 800)); err != nil {
 		log.Fatal(err)
@@ -68,7 +68,7 @@ func main() {
 			row[0], row[1], row[2].Float64())
 	}
 	fmt.Printf("\nexecuted in %v (%d candidates -> %d verified across both joins)\n",
-		res.Elapsed, res.Stats.Candidates, res.Stats.Verified)
+		res.Elapsed, res.Join.Candidates, res.Join.Verified)
 }
 
 func weatherSchema() *fudj.Schema {

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	db := fudj.MustOpen(fudj.OptionsFor(4, 2))
+	db := fudj.MustOpen(fudj.WithCluster(4, 2))
 
 	// Load synthetic stand-ins for the UCR-STAR Parks and WildfireDB
 	// datasets (Table I).
@@ -63,7 +63,7 @@ func main() {
 		fmt.Printf("  park %-6v %v fires\n", row[0], row[1])
 	}
 	fmt.Printf("FUDJ:     %v  (%d candidates -> %d verified, %d B shuffled)\n",
-		res.Elapsed, res.Stats.Candidates, res.Stats.Verified, res.BytesShuffled)
+		res.Elapsed, res.Join.Candidates, res.Join.Verified, res.Cluster.BytesShuffled)
 
 	// Arm 2: the hand-built plane-sweep operator.
 	db.SetJoinMode(fudj.ModeBuiltin)
@@ -79,7 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("On-top:   %v  (%d candidates)\n", res3.Elapsed, res3.Stats.Candidates)
+	fmt.Printf("On-top:   %v  (%d candidates)\n", res3.Elapsed, res3.Join.Candidates)
 	fmt.Printf("\nFUDJ speed-up over on-top: %.1fx\n",
 		res3.Elapsed.Seconds()/res.Elapsed.Seconds())
 }

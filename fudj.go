@@ -31,7 +31,7 @@
 //
 // # The engine
 //
-//	db := fudj.MustOpen(fudj.DefaultOptions())
+//	db := fudj.MustOpen(fudj.WithCluster(4, 2))
 //	db.CreateDataset("parks", schema, records)
 //	db.InstallLibrary(lib)
 //	db.Execute(`CREATE JOIN my_join(a: geometry, b: geometry, n: int)

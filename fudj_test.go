@@ -268,8 +268,8 @@ func TestPublicTrajectoryJoin(t *testing.T) {
 	if fmt.Sprint(as) != fmt.Sprint(bs) {
 		t.Fatalf("trajectory FUDJ (%d rows) != on-top (%d rows)", len(as), len(bs))
 	}
-	if res.Stats.Candidates >= ref.Stats.Candidates {
-		t.Errorf("FUDJ candidates %d >= on-top %d", res.Stats.Candidates, ref.Stats.Candidates)
+	if res.Join.Candidates >= ref.Join.Candidates {
+		t.Errorf("FUDJ candidates %d >= on-top %d", res.Join.Candidates, ref.Join.Candidates)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fudj/internal/analysis/ctxplumb"
 	"fudj/internal/analysis/framework"
 	"fudj/internal/analysis/maporder"
+	"fudj/internal/analysis/metricslock"
 	"fudj/internal/analysis/seedrand"
 	"fudj/internal/analysis/udfcatch"
 )
@@ -23,5 +24,6 @@ func All() []*framework.Analyzer {
 		udfcatch.Analyzer,
 		boundedalloc.Analyzer,
 		ctxplumb.Analyzer,
+		metricslock.Analyzer,
 	}
 }

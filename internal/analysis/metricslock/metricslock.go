@@ -1,0 +1,152 @@
+// Package metricslock flags accesses to fields of the metrics registry
+// struct that are not protected by its mutex.
+//
+// Invariant: every counter, gauge, and histogram in a `Metrics` struct
+// is guarded by the single `mu` mutex so that Snapshot() and Values()
+// can promise one consistent instant across all metrics — a torn read
+// (bytes updated, records not yet) would let a mid-query observer see
+// impossible states, and the memory-budget gauges feed admission
+// decisions that must not race. The registry keeps its storage as
+// direct struct fields precisely so this check is mechanical: any
+// selector `x.field` whose base is a Metrics value must be preceded,
+// lexically within the same function, by `x.mu.Lock()` on the same
+// base expression. Helpers that run under a caller's lock opt out by
+// documenting the contract: a doc comment containing "must hold mu".
+package metricslock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fudj/internal/analysis/framework"
+)
+
+// Analyzer is the metricslock rule.
+var Analyzer = &framework.Analyzer{
+	Name: "metricslock",
+	Doc: "flags Metrics struct field accesses outside mu, which would tear " +
+		"the single-snapshot consistency the registry promises",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "must hold mu") {
+				continue // documented run-under-caller's-lock helper
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc flags every Metrics field access in body that no earlier
+// Lock() on the same base expression covers. The check is lexical, not
+// flow-sensitive: a lock anywhere earlier in the function absolves
+// later accesses, which matches the registry's lock-at-entry style and
+// keeps the rule predictable.
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isMetricsField(pass, sel) || sel.Sel.Name == "mu" {
+			return true
+		}
+		if lockedBefore(pass, body, sel) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"access to Metrics field %q without holding mu; lock %s.mu first "+
+				"(or document the helper with \"must hold mu\")",
+			sel.Sel.Name, exprPath(sel.X))
+		return true
+	})
+}
+
+// isMetricsField reports whether sel selects a struct field (not a
+// method) on a value whose type is a struct named Metrics carrying a
+// mu field.
+func isMetricsField(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Metrics" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "mu" {
+			return true
+		}
+	}
+	return false
+}
+
+// lockedBefore reports whether a `<base>.mu.Lock()` call on the same
+// base expression as the access appears lexically before it in body.
+func lockedBefore(pass *framework.Pass, body *ast.BlockStmt, access *ast.SelectorExpr) bool {
+	base := exprPath(access.X)
+	if base == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= access.Pos() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		lockSel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || lockSel.Sel.Name != "Lock" {
+			return true
+		}
+		muSel, ok := lockSel.X.(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != "mu" {
+			return true
+		}
+		if exprPath(muSel.X) == base {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprPath renders an identifier or selector chain ("m", "c.m") for
+// base-expression matching; anything more exotic yields "".
+func exprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprPath(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	}
+	return ""
+}

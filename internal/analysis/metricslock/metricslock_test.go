@@ -1,0 +1,12 @@
+package metricslock_test
+
+import (
+	"testing"
+
+	"fudj/internal/analysis/framework"
+	"fudj/internal/analysis/metricslock"
+)
+
+func TestMetricsLock(t *testing.T) {
+	framework.RunTest(t, "testdata", metricslock.Analyzer, "a")
+}

@@ -1,0 +1,76 @@
+package a
+
+import "sync"
+
+// Metrics mirrors the registry shape the analyzer guards: storage as
+// direct fields under one mu.
+type Metrics struct {
+	mu    sync.Mutex
+	vals  []int64
+	names []string
+	busy  int64
+}
+
+// Other is a struct with a mu that is NOT named Metrics; out of scope.
+type Other struct {
+	mu   sync.Mutex
+	vals []int64
+}
+
+func lockedRead(m *Metrics) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.vals[0]
+}
+
+func unlockedRead(m *Metrics) int64 {
+	return m.vals[0] // want `access to Metrics field "vals" without holding mu`
+}
+
+func unlockedWrite(m *Metrics) {
+	m.busy++ // want `access to Metrics field "busy" without holding mu`
+}
+
+// valueAt returns one raw slot. Callers must hold mu.
+func valueAt(m *Metrics, i int) int64 {
+	return m.vals[i]
+}
+
+func lockAfter(m *Metrics) {
+	m.busy++ // want `access to Metrics field "busy" without holding mu`
+	m.mu.Lock()
+	m.busy++
+	m.mu.Unlock()
+}
+
+type handle struct {
+	m  *Metrics
+	id int
+}
+
+func (h handle) lockedAdd(n int64) {
+	h.m.mu.Lock()
+	h.m.vals[h.id] += n
+	h.m.mu.Unlock()
+}
+
+func (h handle) unlockedAdd(n int64) {
+	h.m.vals[h.id] += n // want `access to Metrics field "vals" without holding mu`
+}
+
+func wrongBase(a, b *Metrics) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.vals[0] // want `access to Metrics field "vals" without holding mu`
+}
+
+func closureUnderLock(m *Metrics) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	get := func() []string { return m.names }
+	return get()
+}
+
+func otherStruct(o *Other) int64 {
+	return o.vals[0] // not a Metrics: fine
+}

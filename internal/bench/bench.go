@@ -201,8 +201,8 @@ func timedQuery(db *fudj.DB, sql string) runResult {
 		count = int64(len(res.Rows))
 	}
 	return runResult{
-		elapsed: res.Elapsed, maxBusy: res.MaxBusy, rows: count,
-		shuffled: res.RecordsShuffled, bytes: res.BytesShuffled,
+		elapsed: res.Elapsed, maxBusy: res.Cluster.MaxBusy, rows: count,
+		shuffled: res.Cluster.RecordsShuffled, bytes: res.Cluster.BytesShuffled,
 	}
 }
 

@@ -155,23 +155,50 @@ func runExtraPhases(cfg Config, w io.Writer) error {
 	}
 	var rows [][]string
 	for _, name := range []string{"spatial (grid 32)", "interval (1000 granules)", "text-similarity (t=0.9)"} {
-		res, err := e.db.Execute(queries[name])
+		res, err := e.db.Execute(queries[name], fudj.Trace())
 		if err != nil {
 			return err
 		}
-		total := res.Stats.SummarizeTime + res.Stats.PartitionTime + res.Stats.CombineTime
+		total := res.Join.SummarizeTime + res.Join.PartitionTime + res.Join.CombineTime
 		pct := func(d float64) string { return fmt.Sprintf("%.0f%%", 100*d/total.Seconds()) }
+		phases := phaseSpans(res.Trace)
+		cnt := func(phase, counter string) string {
+			if sp := phases[phase]; sp != nil {
+				return fmt.Sprintf("%d", sp.Counter(counter))
+			}
+			return "-"
+		}
 		rows = append(rows, []string{
 			name,
-			fmtDur(res.Stats.SummarizeTime), pct(res.Stats.SummarizeTime.Seconds()),
-			fmtDur(res.Stats.PartitionTime), pct(res.Stats.PartitionTime.Seconds()),
-			fmtDur(res.Stats.CombineTime), pct(res.Stats.CombineTime.Seconds()),
+			fmtDur(res.Join.SummarizeTime), pct(res.Join.SummarizeTime.Seconds()), cnt("SUMMARIZE", "state.bytes"),
+			fmtDur(res.Join.PartitionTime), pct(res.Join.PartitionTime.Seconds()), cnt("PARTITION", "rows.out"),
+			fmtDur(res.Join.CombineTime), pct(res.Join.CombineTime.Seconds()), cnt("COMBINE", "rows.out"),
 		})
 	}
-	printTable(w, []string{"join", "SUMMARIZE", "", "PARTITION", "", "COMBINE", ""}, rows)
+	printTable(w, []string{
+		"join",
+		"SUMMARIZE", "", "stateB",
+		"PARTITION", "", "rows",
+		"COMBINE", "", "rows",
+	}, rows)
 	fmt.Fprintln(w, "  (COMBINE dominates for the theta interval join — the §VII-C bottleneck;")
 	fmt.Fprintln(w, "   SUMMARIZE is heaviest for text-similarity, whose summary is a token map)")
 	return nil
+}
+
+// phaseSpans walks a query trace and indexes the first join step's
+// phase spans by name.
+func phaseSpans(root *fudj.Span) map[string]*fudj.Span {
+	out := make(map[string]*fudj.Span)
+	root.Walk(func(depth int, sp *fudj.Span) {
+		switch sp.Name() {
+		case "SUMMARIZE", "PARTITION", "COMBINE":
+			if _, ok := out[sp.Name()]; !ok {
+				out[sp.Name()] = sp
+			}
+		}
+	})
+	return out
 }
 
 func runExtraDistance(cfg Config, w io.Writer) error {

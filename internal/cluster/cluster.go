@@ -12,6 +12,11 @@
 // host's physical cores, so the cluster also records per-partition busy
 // time; MaxBusy approximates the makespan on ideal hardware and is what
 // the scalability experiments report alongside wall time.
+//
+// Observability: cost counters live in the Metrics registry
+// (metrics.go); when the engine attaches a trace span via SetSpan,
+// every partition task and exchange emits a child span, so a traced
+// query yields the full query → phase → task tree.
 package cluster
 
 import (
@@ -22,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fudj/internal/trace"
 	"fudj/internal/types"
 )
 
@@ -70,315 +76,6 @@ func (d Data) Flatten() []types.Record {
 	return out
 }
 
-// Metrics accumulates the cluster's cost counters for one query.
-type Metrics struct {
-	mu             sync.Mutex
-	bytesShuffled  int64
-	recsShuffled   int64
-	bytesBroadcast int64
-	busy           []time.Duration
-	tasks          int64
-	retries        int64
-	recovered      int64
-	speculative    int64
-	corruptHealed  int64
-
-	// Memory-bounded execution counters (zero without a budget).
-	curMemory    int64 // budget-tracked bytes currently reserved
-	peakMemory   int64 // high-water mark of curMemory
-	peakInput    int64 // largest materialized per-partition input
-	bytesSpilled int64
-	spillRuns    int64
-	bucketsSplit int64
-	backpressure int64 // sender stalls + forced chunk splits
-}
-
-// Snapshot is a consistent copy of every counter, taken under one
-// lock acquisition so a mid-query read cannot mix epochs across
-// counters (e.g. observe a retry without its task).
-type Snapshot struct {
-	BytesShuffled   int64
-	RecordsShuffled int64
-	BytesBroadcast  int64
-	MaxBusy         time.Duration
-	TotalBusy       time.Duration
-	Tasks           int64
-	Retries         int64
-	Recovered       int64
-	Speculative     int64
-	CorruptHealed   int64
-
-	PeakMemory   int64
-	PeakInput    int64
-	BytesSpilled int64
-	SpillRuns    int64
-	BucketsSplit int64
-	Backpressure int64
-}
-
-// Snapshot reads all counters atomically with respect to writers: one
-// lock pass, so every field belongs to the same instant.
-func (m *Metrics) Snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var maxBusy, totalBusy time.Duration
-	for _, b := range m.busy {
-		totalBusy += b
-		if b > maxBusy {
-			maxBusy = b
-		}
-	}
-	return Snapshot{
-		BytesShuffled:   m.bytesShuffled,
-		RecordsShuffled: m.recsShuffled,
-		BytesBroadcast:  m.bytesBroadcast,
-		MaxBusy:         maxBusy,
-		TotalBusy:       totalBusy,
-		Tasks:           m.tasks,
-		Retries:         m.retries,
-		Recovered:       m.recovered,
-		Speculative:     m.speculative,
-		CorruptHealed:   m.corruptHealed,
-		PeakMemory:      m.peakMemory,
-		PeakInput:       m.peakInput,
-		BytesSpilled:    m.bytesSpilled,
-		SpillRuns:       m.spillRuns,
-		BucketsSplit:    m.bucketsSplit,
-		Backpressure:    m.backpressure,
-	}
-}
-
-func newMetrics(parts int) *Metrics {
-	return &Metrics{busy: make([]time.Duration, parts)}
-}
-
-// BytesShuffled returns the bytes serialized across node boundaries.
-func (m *Metrics) BytesShuffled() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bytesShuffled
-}
-
-// RecordsShuffled returns the records moved across node boundaries.
-func (m *Metrics) RecordsShuffled() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.recsShuffled
-}
-
-// BytesBroadcast returns the bytes broadcast to all nodes (plans etc.).
-func (m *Metrics) BytesBroadcast() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bytesBroadcast
-}
-
-// MaxBusy returns the largest accumulated per-partition busy time: the
-// query's makespan on hardware with one real core per partition.
-func (m *Metrics) MaxBusy() time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var max time.Duration
-	for _, b := range m.busy {
-		if b > max {
-			max = b
-		}
-	}
-	return max
-}
-
-// TotalBusy returns the summed busy time over all partitions.
-func (m *Metrics) TotalBusy() time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var sum time.Duration
-	for _, b := range m.busy {
-		sum += b
-	}
-	return sum
-}
-
-// Tasks returns the number of partition tasks executed.
-func (m *Metrics) Tasks() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.tasks
-}
-
-// Retries returns how many partition task attempts were re-executed
-// after a failure or speculative abandonment.
-func (m *Metrics) Retries() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.retries
-}
-
-// Recovered returns how many partition tasks ultimately succeeded
-// after at least one failed attempt.
-func (m *Metrics) Recovered() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.recovered
-}
-
-// Speculative returns how many straggling task attempts were abandoned
-// in favour of a speculative re-execution.
-func (m *Metrics) Speculative() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.speculative
-}
-
-// CorruptionsHealed returns how many corrupted shuffle payloads were
-// recovered by resending.
-func (m *Metrics) CorruptionsHealed() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.corruptHealed
-}
-
-func (m *Metrics) addBusy(part int, d time.Duration) {
-	m.mu.Lock()
-	m.busy[part] += d
-	m.tasks++
-	m.mu.Unlock()
-}
-
-func (m *Metrics) addShuffle(bytes, recs int64) {
-	m.mu.Lock()
-	m.bytesShuffled += bytes
-	m.recsShuffled += recs
-	m.mu.Unlock()
-}
-
-func (m *Metrics) addBroadcast(bytes int64) {
-	m.mu.Lock()
-	m.bytesBroadcast += bytes
-	m.mu.Unlock()
-}
-
-func (m *Metrics) addRetry() {
-	m.mu.Lock()
-	m.retries++
-	m.mu.Unlock()
-}
-
-func (m *Metrics) addRecovered() {
-	m.mu.Lock()
-	m.recovered++
-	m.mu.Unlock()
-}
-
-func (m *Metrics) addSpeculative() {
-	m.mu.Lock()
-	m.speculative++
-	m.mu.Unlock()
-}
-
-func (m *Metrics) addCorruptHealed() {
-	m.mu.Lock()
-	m.corruptHealed++
-	m.mu.Unlock()
-}
-
-// PeakMemory returns the high-water mark of budget-tracked memory
-// (shuffle inboxes plus COMBINE build structures).
-func (m *Metrics) PeakMemory() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.peakMemory
-}
-
-// PeakInput returns the largest materialized per-partition input
-// observed (tracked only when a budget is set).
-func (m *Metrics) PeakInput() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.peakInput
-}
-
-// BytesSpilled returns the bytes written to disk spill runs.
-func (m *Metrics) BytesSpilled() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bytesSpilled
-}
-
-// SpillRuns returns the number of spill runs written to disk.
-func (m *Metrics) SpillRuns() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.spillRuns
-}
-
-// BucketsSplit returns how many spilled buckets were skew-split into
-// sub-builds because their build side alone exceeded the budget.
-func (m *Metrics) BucketsSplit() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bucketsSplit
-}
-
-// Backpressure returns how often senders stalled for inbox credit or
-// had to split a batch to fit a receive window.
-func (m *Metrics) Backpressure() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.backpressure
-}
-
-// ReserveMemory charges bytes against the budget-tracked gauge and
-// records the new high-water mark. The engine calls this for COMBINE
-// build structures; the shuffle inboxes use it internally.
-func (m *Metrics) ReserveMemory(bytes int64) { m.reserveMemory(bytes) }
-
-// ReleaseMemory returns bytes to the budget-tracked gauge.
-func (m *Metrics) ReleaseMemory(bytes int64) { m.releaseMemory(bytes) }
-
-// AddSpill records one or more spill runs written to disk.
-func (m *Metrics) AddSpill(bytes, runs int64) {
-	m.mu.Lock()
-	m.bytesSpilled += bytes
-	m.spillRuns += runs
-	m.mu.Unlock()
-}
-
-// AddBucketSplit records one skew-split spilled bucket.
-func (m *Metrics) AddBucketSplit() {
-	m.mu.Lock()
-	m.bucketsSplit++
-	m.mu.Unlock()
-}
-
-func (m *Metrics) reserveMemory(bytes int64) {
-	m.mu.Lock()
-	m.curMemory += bytes
-	if m.curMemory > m.peakMemory {
-		m.peakMemory = m.curMemory
-	}
-	m.mu.Unlock()
-}
-
-func (m *Metrics) releaseMemory(bytes int64) {
-	m.mu.Lock()
-	m.curMemory -= bytes
-	m.mu.Unlock()
-}
-
-func (m *Metrics) notePartitionInput(bytes int64) {
-	m.mu.Lock()
-	if bytes > m.peakInput {
-		m.peakInput = bytes
-	}
-	m.mu.Unlock()
-}
-
-func (m *Metrics) addBackpressure() {
-	m.mu.Lock()
-	m.backpressure++
-	m.mu.Unlock()
-}
-
 // Cluster is one simulated deployment. It is safe for a single query
 // at a time; the engine creates one per query execution so metrics are
 // per-query.
@@ -390,6 +87,8 @@ type Cluster struct {
 	qctx      context.Context
 	epoch     atomic.Int64
 	memBudget int64 // total bytes across all partitions; 0 = unbounded
+	clock     trace.Clock
+	span      *trace.Span // current parent span for cluster ops; nil = untraced
 }
 
 // New builds a cluster, panicking on invalid configuration (a harness
@@ -398,14 +97,39 @@ func New(cfg Config) *Cluster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Cluster{cfg: cfg, metrics: newMetrics(cfg.Partitions()), retry: DefaultRetryPolicy()}
+	return &Cluster{
+		cfg:     cfg,
+		metrics: newMetrics(cfg.Partitions()),
+		retry:   DefaultRetryPolicy(),
+		clock:   trace.WallClock{},
+	}
 }
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Metrics returns the cluster's cost counters.
+// Metrics returns the cluster's metric registry.
 func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// SetClock replaces the clock used for busy-time accounting and span
+// timestamps. The engine installs its own clock so execution packages
+// never read time.Now directly.
+func (c *Cluster) SetClock(clk trace.Clock) {
+	if clk != nil {
+		c.clock = clk
+	}
+}
+
+// SetSpan installs the trace span subsequent cluster operations attach
+// their task and exchange spans to, returning the previous span so
+// callers can nest and restore. Cluster operations within one query
+// run sequentially, so a plain swap is safe; a nil span disables task
+// tracing.
+func (c *Cluster) SetSpan(s *trace.Span) (prev *trace.Span) {
+	prev = c.span
+	c.span = s
+	return prev
+}
 
 // SetFaults installs a fault injector for this cluster's lifetime.
 // Install a fresh injector per query so fault decisions stay
@@ -493,7 +217,9 @@ func RunValues[T any](c *Cluster, data Data, f func(part int, in []types.Record)
 
 // runParts is the shared parallel task scaffold behind Run and
 // RunValues: one goroutine per partition, each driving its task
-// through the retry policy, with all failures aggregated.
+// through the retry policy, with all failures aggregated. Task spans
+// are created in partition order before the goroutines launch, so the
+// trace tree's shape is deterministic even though the tasks race.
 func runParts[T any](c *Cluster, data Data, f func(part int, in []types.Record) (T, error)) ([]T, error) {
 	if len(data) != c.Partitions() {
 		return nil, fmt.Errorf("cluster: data has %d partitions, cluster has %d", len(data), c.Partitions())
@@ -507,11 +233,17 @@ func runParts[T any](c *Cluster, data Data, f func(part int, in []types.Record) 
 	errs := make([]error, c.Partitions())
 	var wg sync.WaitGroup
 	for part := 0; part < c.Partitions(); part++ {
+		sp := c.span.Task(part)
 		wg.Add(1)
-		go func(part int) {
+		go func(part int, sp *trace.Span) {
 			defer wg.Done()
-			out[part], errs[part] = runTask(c, ctx, epoch, part, data[part], f)
-		}(part)
+			defer sp.End()
+			sp.Add("records.in", int64(len(data[part])))
+			out[part], errs[part] = runTask(c, ctx, epoch, part, data[part], sp, f)
+			if recs, ok := any(out[part]).([]types.Record); ok {
+				sp.Add("records.out", int64(len(recs)))
+			}
+		}(part, sp)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -533,7 +265,7 @@ func runParts[T any](c *Cluster, data Data, f func(part int, in []types.Record) 
 // policy: transient (injected) failures retry with capped exponential
 // backoff, straggling attempts are abandoned and immediately
 // re-executed, and deterministic task errors fail fast.
-func runTask[T any](c *Cluster, ctx context.Context, epoch int64, part int, in []types.Record, f func(part int, in []types.Record) (T, error)) (T, error) {
+func runTask[T any](c *Cluster, ctx context.Context, epoch int64, part int, in []types.Record, sp *trace.Span, f func(part int, in []types.Record) (T, error)) (T, error) {
 	var zero T
 	attempts := c.retry.MaxAttempts
 	if attempts < 1 {
@@ -547,13 +279,16 @@ func runTask[T any](c *Cluster, ctx context.Context, epoch int64, part int, in [
 		}
 		if attempt > 0 {
 			c.metrics.addRetry()
+			sp.Add("retries", 1)
 			if backoffNext && !sleepCtx(ctx, c.retry.backoff(attempt)) {
 				return zero, ctx.Err()
 			}
 		}
-		start := time.Now() //fudjvet:ignore seedrand -- busy-time metric only; never feeds an execution decision
+		start := c.clock.Now()
 		res, err := runAttempt(c, ctx, epoch, part, attempt, in, f)
-		c.metrics.addBusy(part, time.Since(start))
+		busy := c.clock.Now().Sub(start)
+		c.metrics.addBusy(part, busy)
+		sp.Add("busy.ns", int64(busy))
 		if err == nil {
 			if attempt > 0 {
 				c.metrics.addRecovered()
@@ -728,12 +463,27 @@ func (c *Cluster) Replicate(data Data) (Data, error) {
 // transfer, including resends, is charged to the shuffle counters.
 // Under a memory budget, delivery runs through bounded, backpressured
 // inboxes instead (see memory.go); without one this sequential path
-// is byte-for-byte the pre-budget behavior.
+// is byte-for-byte the pre-budget behavior. When traced, the whole
+// delivery is one "exchange" span carrying the byte/record deltas.
 func (c *Cluster) deliver(outbox [][][]types.Record) (Data, error) {
-	if c.memBudget > 0 {
-		return c.deliverBounded(outbox)
+	sp := c.span.Child("exchange")
+	var b0, r0 int64
+	if sp != nil {
+		b0, r0 = c.metrics.BytesShuffled(), c.metrics.RecordsShuffled()
 	}
-	return c.deliverSequential(outbox)
+	var out Data
+	var err error
+	if c.memBudget > 0 {
+		out, err = c.deliverBounded(outbox)
+	} else {
+		out, err = c.deliverSequential(outbox)
+	}
+	if sp != nil {
+		sp.Add("shuffle.bytes", c.metrics.BytesShuffled()-b0)
+		sp.Add("shuffle.records", c.metrics.RecordsShuffled()-r0)
+		sp.End()
+	}
+	return out, err
 }
 
 func (c *Cluster) deliverSequential(outbox [][][]types.Record) (Data, error) {

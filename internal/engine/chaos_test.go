@@ -74,15 +74,15 @@ func TestChaosEquivalence(t *testing.T) {
 	for _, q := range chaosQueries {
 		res := mustQuery(t, db, q.sql)
 		sameRows(t, q.name+" under chaos", res.Rows, baseline[q.name])
-		if res.Retries == 0 {
+		if res.Faults.Retries == 0 {
 			t.Errorf("%s: no retries at crash p=0.2 — injection not wired through", q.name)
 		}
-		if res.Recovered == 0 {
+		if res.Faults.Recovered == 0 {
 			t.Errorf("%s: no recovered tasks", q.name)
 		}
-		healed += res.CorruptionsHealed
+		healed += res.Faults.CorruptionsHealed
 		t.Logf("%s: retries=%d recovered=%d speculative=%d healed=%d",
-			q.name, res.Retries, res.Recovered, res.Speculative, res.CorruptionsHealed)
+			q.name, res.Faults.Retries, res.Faults.Recovered, res.Faults.Speculative, res.Faults.CorruptionsHealed)
 	}
 	if healed == 0 {
 		t.Error("no corrupted shuffle payloads were healed across the suite at p=0.05")
@@ -105,12 +105,12 @@ func TestChaosDisarm(t *testing.T) {
 	db := newTestDB(t)
 	db.SetFaultConfig(chaosConfig(1))
 	db.SetRetryPolicy(chaosRetry())
-	if res := mustQuery(t, db, chaosQueries[2].sql); res.Retries == 0 {
+	if res := mustQuery(t, db, chaosQueries[2].sql); res.Faults.Retries == 0 {
 		t.Fatal("armed run saw no retries")
 	}
 	db.SetFaultConfig(nil)
-	if res := mustQuery(t, db, chaosQueries[2].sql); res.Retries != 0 {
-		t.Errorf("disarmed run still retried %d times", res.Retries)
+	if res := mustQuery(t, db, chaosQueries[2].sql); res.Faults.Retries != 0 {
+		t.Errorf("disarmed run still retried %d times", res.Faults.Retries)
 	}
 }
 

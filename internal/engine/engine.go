@@ -16,6 +16,7 @@ import (
 	"fudj/internal/core"
 	"fudj/internal/expr"
 	"fudj/internal/sqlparse"
+	"fudj/internal/trace"
 	"fudj/internal/types"
 )
 
@@ -39,44 +40,48 @@ const (
 type BuiltinJoinFunc func(c *cluster.Cluster, left cluster.Data, leftKey expr.Evaluator,
 	right cluster.Data, rightKey expr.Evaluator, params []types.Value) (cluster.Data, error)
 
-// Options configure a Database.
-type Options struct {
-	Cluster cluster.Config
-}
-
-// DefaultOptions mirror the paper's testbed shape at laptop scale:
-// 4 nodes with 2 cores each.
-func DefaultOptions() Options {
-	return Options{Cluster: cluster.Config{Nodes: 4, CoresPerNode: 2}}
-}
-
 // Database is one engine instance: metadata plus execution settings.
 type Database struct {
 	catalog    *catalog.Catalog
-	opts       Options
+	clusterCfg cluster.Config
 	mode       JoinMode
 	smartTheta bool
 	builtins   map[string]BuiltinJoinFunc
 	faultCfg   *cluster.FaultConfig
 	retryPol   *cluster.RetryPolicy
 	memBudget  int64
+	clock      trace.Clock
+	tracing    bool
 }
 
-// Open creates a database with the given options.
-func Open(opts Options) (*Database, error) {
-	if err := opts.Cluster.Validate(); err != nil {
+// Open creates a database. With no options it mirrors the paper's
+// testbed shape at laptop scale (4 nodes × 2 cores); pass Option
+// values (WithCluster, WithMemoryBudget, WithFaults, WithTracing, …)
+// to configure.
+func Open(opts ...Option) (*Database, error) {
+	db := &Database{
+		catalog:    catalog.New(),
+		clusterCfg: cluster.Config{Nodes: 4, CoresPerNode: 2},
+		builtins:   make(map[string]BuiltinJoinFunc),
+		clock:      trace.WallClock{},
+	}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o.applyOption(db); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.clusterCfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Database{
-		catalog:  catalog.New(),
-		opts:     opts,
-		builtins: make(map[string]BuiltinJoinFunc),
-	}, nil
+	return db, nil
 }
 
 // MustOpen is Open that panics on error, for tests and examples.
-func MustOpen(opts Options) *Database {
-	db, err := Open(opts)
+func MustOpen(opts ...Option) *Database {
+	db, err := Open(opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -103,7 +108,7 @@ func (db *Database) SetCluster(cfg cluster.Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	db.opts.Cluster = cfg
+	db.clusterCfg = cfg
 	return nil
 }
 
@@ -113,10 +118,10 @@ func (db *Database) RegisterBuiltinJoin(name string, op BuiltinJoinFunc) {
 	db.builtins[name] = op
 }
 
-// SetFaultConfig arms fault injection for subsequent queries: every
-// query execution builds a fresh, deterministic injector from this
-// configuration, so the same query sees the same faults on every run.
-// A nil config disables injection.
+// SetFaultConfig arms fault injection for subsequent queries.
+//
+// Deprecated: pass WithFaults to Open instead. Kept as a thin shim for
+// one release.
 func (db *Database) SetFaultConfig(cfg *cluster.FaultConfig) {
 	if cfg == nil {
 		db.faultCfg = nil
@@ -128,19 +133,18 @@ func (db *Database) SetFaultConfig(cfg *cluster.FaultConfig) {
 
 // SetRetryPolicy overrides the cluster's task retry policy for
 // subsequent queries (backoff shape, attempt cap, speculation).
+//
+// Deprecated: pass WithRetryPolicy to Open instead. Kept as a thin
+// shim for one release.
 func (db *Database) SetRetryPolicy(pol cluster.RetryPolicy) {
 	db.retryPol = &pol
 }
 
 // SetMemoryBudget bounds the transient memory of subsequent queries to
-// the given total bytes, split evenly over partitions. Under a budget,
-// shuffle inboxes are credit-bounded (senders block instead of
-// buffering without limit) and COMBINE hash builds that exceed their
-// partition's share spill bucket runs to disk and re-join them
-// hybrid-hash style, skew-splitting buckets too large to ever fit. A
-// record larger than the per-partition hard cap (2x the share) fails
-// the query with a structured *core.ResourceError. Zero or negative
-// disables bounding; unbounded execution is byte-for-byte unchanged.
+// the given total bytes, split evenly over partitions.
+//
+// Deprecated: pass WithMemoryBudget to Open instead. Kept as a thin
+// shim for one release.
 func (db *Database) SetMemoryBudget(bytes int64) {
 	if bytes < 0 {
 		bytes = 0
@@ -161,19 +165,88 @@ func (db *Database) InstallLibrary(lib *core.Library) error {
 	return db.catalog.InstallLibrary(lib)
 }
 
-// Stats carries the operator-level counters of one query execution.
-type Stats struct {
+// JoinStats carries the join-operator counters of one query execution:
+// the candidate/verify funnel and the per-phase wall-time breakdown
+// the paper reasons about in §VII.
+type JoinStats struct {
 	Candidates int64 // record pairs reaching VERIFY
 	Verified   int64 // pairs passing VERIFY
 	Deduped    int64 // pairs suppressed by duplicate handling
-	JoinOutput int64 // records leaving join operators
+	Output     int64 // records leaving join operators
 	StateBytes int64 // encoded summary + plan bytes moved
 
-	// Wall time spent in each FUDJ phase (summed over FUDJ join steps),
-	// the phase breakdown the paper reasons about in §VII.
+	// Wall time spent in each FUDJ phase (summed over FUDJ join steps).
 	SummarizeTime time.Duration
 	PartitionTime time.Duration
 	CombineTime   time.Duration
+}
+
+// Stats is the former name of JoinStats.
+//
+// Deprecated: use JoinStats (Result.Join).
+type Stats = JoinStats
+
+// ClusterStats carries the simulated cluster's transport and compute
+// counters for one execution.
+type ClusterStats struct {
+	BytesShuffled   int64
+	RecordsShuffled int64
+	BytesBroadcast  int64
+	Tasks           int64
+	MaxBusy         time.Duration // per-partition makespan (ideal hardware)
+	TotalBusy       time.Duration
+}
+
+// FaultStats carries the fault-recovery counters for one execution
+// (zero without injected faults): task re-executions, tasks that
+// succeeded after retrying, straggler attempts abandoned for a
+// speculative copy, and corrupted shuffle transfers healed by
+// resending.
+type FaultStats struct {
+	Retries           int64
+	Recovered         int64
+	Speculative       int64
+	CorruptionsHealed int64
+}
+
+// MemoryStats carries the memory-bounding counters for one execution
+// (zero when no budget is set). Peak is the high-water mark of
+// budget-governed transient memory (inbox credit plus COMBINE builds)
+// and never exceeds the budget; PeakInput is the largest materialized
+// partition input, reported for sizing budgets. BytesSpilled/SpillRuns
+// count COMBINE spill traffic, BucketsSplit counts skew splits of
+// over-budget buckets, and Backpressure counts sender stalls and
+// chunked transfers on bounded shuffle inboxes.
+type MemoryStats struct {
+	Peak         int64
+	PeakInput    int64
+	BytesSpilled int64
+	SpillRuns    int64
+	BucketsSplit int64
+	Backpressure int64
+}
+
+// Result is the outcome of one query. Execution counters are grouped
+// by subsystem: Join for operator-level counts and phase times,
+// Cluster for transport/compute, Faults for recovery, Memory for
+// bounded-execution behaviour. Trace holds the root execution span
+// when tracing was enabled (WithTracing, the Trace exec option, or
+// EXPLAIN ANALYZE), nil otherwise. Metrics is the unified name→value
+// view of the cluster's metric registry, taken in one snapshot at
+// query end.
+type Result struct {
+	Schema  *types.Schema
+	Rows    []types.Record
+	Plan    string        // EXPLAIN-style plan description
+	Elapsed time.Duration // wall-clock execution time
+
+	Join    JoinStats
+	Cluster ClusterStats
+	Faults  FaultStats
+	Memory  MemoryStats
+
+	Trace   *trace.Span
+	Metrics map[string]int64
 }
 
 type statsCounters struct {
@@ -187,12 +260,12 @@ type statsCounters struct {
 	combine    atomic.Int64
 }
 
-func (c *statsCounters) snapshot() Stats {
-	return Stats{
+func (c *statsCounters) snapshot() JoinStats {
+	return JoinStats{
 		Candidates:    c.candidates.Load(),
 		Verified:      c.verified.Load(),
 		Deduped:       c.deduped.Load(),
-		JoinOutput:    c.joinOutput.Load(),
+		Output:        c.joinOutput.Load(),
 		StateBytes:    c.stateBytes.Load(),
 		SummarizeTime: time.Duration(c.summarize.Load()),
 		PartitionTime: time.Duration(c.partition.Load()),
@@ -200,67 +273,59 @@ func (c *statsCounters) snapshot() Stats {
 	}
 }
 
-// Result is the outcome of one query.
-type Result struct {
-	Schema  *types.Schema
-	Rows    []types.Record
-	Plan    string        // EXPLAIN-style plan description
-	Elapsed time.Duration // wall-clock execution time
-	Stats   Stats
-	// Cluster cost counters for the execution.
-	BytesShuffled   int64
-	RecordsShuffled int64
-	BytesBroadcast  int64
-	MaxBusy         time.Duration // per-partition makespan (ideal hardware)
-	TotalBusy       time.Duration
-	// Fault-recovery counters for the execution (zero without injected
-	// faults): task re-executions, tasks that succeeded after retrying,
-	// straggler attempts abandoned for a speculative copy, and corrupted
-	// shuffle transfers healed by resending.
-	Retries           int64
-	Recovered         int64
-	Speculative       int64
-	CorruptionsHealed int64
-	// Memory-bounding counters (zero when no budget is set). PeakMemory
-	// is the high-water mark of budget-governed transient memory (inbox
-	// credit plus COMBINE builds) and never exceeds the budget; PeakInput
-	// is the largest materialized partition input, reported for sizing
-	// budgets. BytesSpilled/SpillRuns count COMBINE spill traffic,
-	// BucketsSplit counts skew splits of over-budget buckets, and
-	// Backpressure counts sender stalls and chunked transfers on bounded
-	// shuffle inboxes.
-	PeakMemory   int64
-	PeakInput    int64
-	BytesSpilled int64
-	SpillRuns    int64
-	BucketsSplit int64
-	Backpressure int64
+// flush copies the engine's hot-path atomics into named counters of
+// the cluster's metric registry, so one Values() call sees the whole
+// execution (the registry's single-snapshot discipline).
+func (c *statsCounters) flush(m *cluster.Metrics) {
+	s := c.snapshot()
+	m.Counter("join.candidates").Add(s.Candidates)
+	m.Counter("join.verified").Add(s.Verified)
+	m.Counter("join.deduped").Add(s.Deduped)
+	m.Counter("join.output").Add(s.Output)
+	m.Counter("join.state.bytes").Add(s.StateBytes)
+	m.Counter("join.summarize.ns").Add(int64(s.SummarizeTime))
+	m.Counter("join.partition.ns").Add(int64(s.PartitionTime))
+	m.Counter("join.combine.ns").Add(int64(s.CombineTime))
+}
+
+// execOpts carries per-query execution options.
+type execOpts struct {
+	trace bool
+}
+
+// ExecOption adjusts the execution of one statement.
+type ExecOption func(*execOpts)
+
+// Trace enables execution tracing for this statement only: the Result
+// carries the root span in Result.Trace.
+func Trace() ExecOption {
+	return func(o *execOpts) { o.trace = true }
 }
 
 // Execute parses and runs one statement. DDL statements return a
 // Result with a status row; SELECT returns the query output.
-func (db *Database) Execute(sql string) (*Result, error) {
-	return db.ExecuteContext(context.Background(), sql)
+func (db *Database) Execute(sql string, opts ...ExecOption) (*Result, error) {
+	return db.ExecuteContext(context.Background(), sql, opts...)
 }
 
 // ExecuteContext is Execute bounded by a context: cancelling it (or
 // exceeding its deadline) aborts in-flight cluster tasks and returns
 // the context's error.
-func (db *Database) ExecuteContext(ctx context.Context, sql string) (*Result, error) {
+func (db *Database) ExecuteContext(ctx context.Context, sql string, opts ...ExecOption) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecuteStmtContext(ctx, stmt)
+	return db.ExecuteStmtContext(ctx, stmt, opts...)
 }
 
 // ExecuteStmt runs an already-parsed statement.
-func (db *Database) ExecuteStmt(stmt sqlparse.Statement) (*Result, error) {
-	return db.ExecuteStmtContext(context.Background(), stmt)
+func (db *Database) ExecuteStmt(stmt sqlparse.Statement, opts ...ExecOption) (*Result, error) {
+	return db.ExecuteStmtContext(context.Background(), stmt, opts...)
 }
 
 // ExecuteStmtContext runs an already-parsed statement under a context.
-func (db *Database) ExecuteStmtContext(ctx context.Context, stmt sqlparse.Statement) (*Result, error) {
+func (db *Database) ExecuteStmtContext(ctx context.Context, stmt sqlparse.Statement, opts ...ExecOption) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparse.CreateJoin:
 		names := make([]string, len(s.Params))
@@ -284,16 +349,40 @@ func (db *Database) ExecuteStmtContext(ctx context.Context, stmt sqlparse.Statem
 		if err != nil {
 			return nil, err
 		}
-		if s.Explain {
+		if s.Explain && !s.Analyze {
 			return &Result{
 				Schema: types.NewSchema(types.Field{Name: "plan", Kind: types.KindString}),
 				Rows:   []types.Record{{types.NewString(plan.explain())}},
 				Plan:   plan.explain(),
 			}, nil
 		}
-		res, err := db.run(ctx, plan)
+		eo := execOpts{trace: db.tracing}
+		for _, o := range opts {
+			if o != nil {
+				o(&eo)
+			}
+		}
+		if s.Explain && s.Analyze {
+			// EXPLAIN ANALYZE really executes the query, with tracing
+			// forced so the rendered plan carries measured spans.
+			eo.trace = true
+		}
+		res, err := db.run(ctx, plan, eo)
 		if err != nil {
 			return nil, err
+		}
+		if s.Explain && s.Analyze {
+			// Replace the output rows with the executed plan annotated by
+			// per-operator spans: one row per rendered line, partition
+			// tasks folded into per-operator summaries.
+			lines := trace.RenderLines(res.Trace, trace.RenderOptions{CollapseTasks: true})
+			rows := make([]types.Record, len(lines))
+			for i, l := range lines {
+				rows[i] = types.Record{types.NewString(l)}
+			}
+			res.Schema = types.NewSchema(types.Field{Name: "plan", Kind: types.KindString})
+			res.Rows = rows
+			return res, nil
 		}
 		if s.Into != "" {
 			// SELECT ... INTO: materialize the result as a new dataset —

@@ -215,10 +215,10 @@ func TestSpatialFUDJEquivalence(t *testing.T) {
 		t.Fatal("spatial join produced no rows; dataset too sparse for the test")
 	}
 	// The FUDJ plan must have pruned candidates relative to NLJ.
-	if fudjRes.Stats.Candidates >= ontopRes.Stats.Candidates {
-		t.Errorf("FUDJ candidates %d >= NLJ candidates %d", fudjRes.Stats.Candidates, ontopRes.Stats.Candidates)
+	if fudjRes.Join.Candidates >= ontopRes.Join.Candidates {
+		t.Errorf("FUDJ candidates %d >= NLJ candidates %d", fudjRes.Join.Candidates, ontopRes.Join.Candidates)
 	}
-	if fudjRes.Stats.StateBytes == 0 {
+	if fudjRes.Join.StateBytes == 0 {
 		t.Error("FUDJ should move summary/plan state bytes")
 	}
 }
@@ -439,8 +439,8 @@ func TestLocalJoinHookEndToEnd(t *testing.T) {
 	if len(hook.Rows) == 0 {
 		t.Fatal("no rows")
 	}
-	if hook.Stats.Verified != plain.Stats.Verified {
-		t.Errorf("verified counts differ: %d vs %d", hook.Stats.Verified, plain.Stats.Verified)
+	if hook.Join.Verified != plain.Join.Verified {
+		t.Errorf("verified counts differ: %d vs %d", hook.Join.Verified, plain.Join.Verified)
 	}
 }
 
@@ -497,9 +497,9 @@ func TestSmartThetaEquivalence(t *testing.T) {
 		// each bucket matches fewer pairs than there are partitions; the
 		// first query's 50 granules guarantee that, the coarse second one
 		// does not, so only the first asserts the reduction.
-		if i == 0 && smart.RecordsShuffled >= naive.RecordsShuffled {
+		if i == 0 && smart.Cluster.RecordsShuffled >= naive.Cluster.RecordsShuffled {
 			t.Errorf("smart theta shuffled %d records, naive %d — expected a reduction",
-				smart.RecordsShuffled, naive.RecordsShuffled)
+				smart.Cluster.RecordsShuffled, naive.Cluster.RecordsShuffled)
 		}
 	}
 }
@@ -757,18 +757,18 @@ func TestPhaseTimesPopulated(t *testing.T) {
 	db := newTestDB(t)
 	res := mustQuery(t, db, `
 		SELECT COUNT(*) FROM parks p, wildfires w WHERE spatial_join(p.boundary, w.location, 8)`)
-	if res.Stats.SummarizeTime <= 0 || res.Stats.PartitionTime <= 0 || res.Stats.CombineTime <= 0 {
-		t.Errorf("phase times not populated: %+v", res.Stats)
+	if res.Join.SummarizeTime <= 0 || res.Join.PartitionTime <= 0 || res.Join.CombineTime <= 0 {
+		t.Errorf("phase times not populated: %+v", res.Join)
 	}
 	// Phases cannot exceed the whole query.
-	sum := res.Stats.SummarizeTime + res.Stats.PartitionTime + res.Stats.CombineTime
+	sum := res.Join.SummarizeTime + res.Join.PartitionTime + res.Join.CombineTime
 	if sum > res.Elapsed {
 		t.Errorf("phase sum %v exceeds elapsed %v", sum, res.Elapsed)
 	}
 	// Non-FUDJ queries report zero phase time.
 	plain := mustQuery(t, db, `SELECT COUNT(*) FROM parks p`)
-	if plain.Stats.SummarizeTime != 0 {
-		t.Errorf("non-FUDJ query has phase times: %+v", plain.Stats)
+	if plain.Join.SummarizeTime != 0 {
+		t.Errorf("non-FUDJ query has phase times: %+v", plain.Join)
 	}
 }
 
@@ -792,20 +792,20 @@ func TestResultMetricsPopulated(t *testing.T) {
 	res := mustQuery(t, db, `
 		SELECT COUNT(*) FROM parks p, wildfires w
 		WHERE spatial_join(p.boundary, w.location, 8)`)
-	if res.BytesShuffled == 0 {
+	if res.Cluster.BytesShuffled == 0 {
 		t.Error("expected shuffle bytes on a 2-node cluster")
 	}
-	if res.BytesBroadcast == 0 {
+	if res.Cluster.BytesBroadcast == 0 {
 		t.Error("expected broadcast bytes for summaries/plan")
 	}
-	if res.MaxBusy <= 0 || res.TotalBusy < res.MaxBusy {
+	if res.Cluster.MaxBusy <= 0 || res.Cluster.TotalBusy < res.Cluster.MaxBusy {
 		t.Error("busy-time metrics not populated")
 	}
 	if res.Elapsed <= 0 {
 		t.Error("elapsed not populated")
 	}
-	if res.Stats.Verified == 0 || res.Stats.JoinOutput == 0 {
-		t.Errorf("stats = %+v", res.Stats)
+	if res.Join.Verified == 0 || res.Join.Output == 0 {
+		t.Errorf("stats = %+v", res.Join)
 	}
 }
 

@@ -4,18 +4,27 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"fudj/internal/cluster"
 	"fudj/internal/core"
 	"fudj/internal/expr"
+	"fudj/internal/trace"
 	"fudj/internal/types"
 )
 
-// run executes a planned query on a fresh cluster instance.
-func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
-	start := time.Now() //fudjvet:ignore seedrand -- query wall-clock metric only; never feeds an execution decision
-	clus := cluster.New(db.opts.Cluster)
+// run executes a planned query on a fresh cluster instance. When
+// tracing is enabled it grows a span tree mirroring the executed plan
+// (query → operator → phase → partition task); all timing flows
+// through the database's injected clock, never time.Now.
+func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts) (*Result, error) {
+	start := db.clock.Now()
+	var root *trace.Span
+	if eo.trace {
+		root = trace.NewSpan(db.clock, "query")
+	}
+	clus := cluster.New(db.clusterCfg)
+	clus.SetClock(db.clock)
+	clus.SetSpan(root)
 	clus.SetContext(ctx)
 	if db.retryPol != nil {
 		clus.SetRetryPolicy(*db.retryPol)
@@ -47,6 +56,8 @@ func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 	inputs := make([]cluster.Data, len(p.scans))
 	schemas := make([]*types.Schema, len(p.scans))
 	for i, s := range p.scans {
+		sp := root.Child("scan " + s.ref.Dataset)
+		prev := clus.SetSpan(sp)
 		data := clus.Scatter(s.ds.Records)
 		if s.filter != nil {
 			pred, err := expr.Compile(s.filter, s.schema)
@@ -58,6 +69,9 @@ func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 				return nil, err
 			}
 		}
+		sp.Add("rows.out", int64(data.Rows()))
+		sp.End()
+		clus.SetSpan(prev)
 		inputs[i] = data
 		schemas[i] = s.schema
 	}
@@ -72,10 +86,17 @@ func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 		right := inputs[i+1]
 		rightSchema := schemas[i+1]
 		outSchema := curSchema.Concat(rightSchema)
+		name := "join " + step.kind.String()
+		if step.fudj != nil {
+			name += " " + step.fudj.def.Name
+		}
+		jsp := root.Child(name)
+		prev := clus.SetSpan(jsp)
+		jsp.Add("rows.in", int64(cur.Rows())+int64(right.Rows()))
 		var err error
 		switch step.kind {
 		case joinFUDJ:
-			cur, err = db.runFUDJ(ctx, clus, counters, mem, step.fudj, cur, curSchema, right, rightSchema, outSchema)
+			cur, err = db.runFUDJ(ctx, clus, counters, mem, jsp, step.fudj, cur, curSchema, right, rightSchema, outSchema)
 		case joinBuiltin:
 			cur, err = db.runBuiltinJoin(clus, counters, step.fudj, cur, curSchema, right, rightSchema)
 		case joinHash:
@@ -100,6 +121,9 @@ func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 				return nil, err
 			}
 		}
+		jsp.Add("rows.out", int64(cur.Rows()))
+		jsp.End()
+		clus.SetSpan(prev)
 	}
 
 	// Residual filter.
@@ -107,6 +131,8 @@ func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 		return nil, err
 	}
 	if len(p.post) > 0 {
+		fsp := root.Child("filter")
+		prev := clus.SetSpan(fsp)
 		pred, err := expr.Compile(expr.JoinConjuncts(p.post), curSchema)
 		if err != nil {
 			return nil, err
@@ -114,9 +140,18 @@ func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 		if cur, err = filterData(clus, cur, pred); err != nil {
 			return nil, err
 		}
+		fsp.Add("rows.out", int64(cur.Rows()))
+		fsp.End()
+		clus.SetSpan(prev)
 	}
 
 	// Aggregation or projection.
+	outName := "project"
+	if len(p.aggs) > 0 || len(p.groupBy) > 0 {
+		outName = "aggregate"
+	}
+	osp := root.Child(outName)
+	prevOut := clus.SetSpan(osp)
 	var rows []types.Record
 	var err error
 	if len(p.aggs) > 0 || len(p.groupBy) > 0 {
@@ -143,36 +178,55 @@ func (p *queryPlan) run(ctx context.Context, db *Database) (*Result, error) {
 	if p.limit >= 0 && len(rows) > p.limit {
 		rows = rows[:p.limit]
 	}
+	osp.Add("rows.out", int64(len(rows)))
+	osp.End()
+	clus.SetSpan(prevOut)
+	root.End()
 
-	// One consistent snapshot of every cluster counter (a field-by-field
+	// Flush the engine's hot-path counters into the registry, then take
+	// one consistent snapshot of every cluster counter (a field-by-field
 	// read could mix epochs if anything were still in flight).
-	m := clus.Metrics().Snapshot()
-	return &Result{
-		Schema:            p.outSchema,
-		Rows:              rows,
-		Plan:              p.explain(),
-		Elapsed:           time.Since(start),
-		Stats:             counters.snapshot(),
-		BytesShuffled:     m.BytesShuffled,
-		RecordsShuffled:   m.RecordsShuffled,
-		BytesBroadcast:    m.BytesBroadcast,
-		MaxBusy:           m.MaxBusy,
-		TotalBusy:         m.TotalBusy,
-		Retries:           m.Retries,
-		Recovered:         m.Recovered,
-		Speculative:       m.Speculative,
-		CorruptionsHealed: m.CorruptHealed,
-		PeakMemory:        m.PeakMemory,
-		PeakInput:         m.PeakInput,
-		BytesSpilled:      m.BytesSpilled,
-		SpillRuns:         m.SpillRuns,
-		BucketsSplit:      m.BucketsSplit,
-		Backpressure:      m.Backpressure,
-	}, nil
+	reg := clus.Metrics()
+	counters.flush(reg)
+	m := reg.Snapshot()
+	res := &Result{
+		Schema:  p.outSchema,
+		Rows:    rows,
+		Plan:    p.explain(),
+		Elapsed: db.clock.Now().Sub(start),
+		Join:    counters.snapshot(),
+		Cluster: ClusterStats{
+			BytesShuffled:   m.BytesShuffled,
+			RecordsShuffled: m.RecordsShuffled,
+			BytesBroadcast:  m.BytesBroadcast,
+			Tasks:           m.Tasks,
+			MaxBusy:         m.MaxBusy,
+			TotalBusy:       m.TotalBusy,
+		},
+		Faults: FaultStats{
+			Retries:           m.Retries,
+			Recovered:         m.Recovered,
+			Speculative:       m.Speculative,
+			CorruptionsHealed: m.CorruptHealed,
+		},
+		Memory: MemoryStats{
+			Peak:         m.PeakMemory,
+			PeakInput:    m.PeakInput,
+			BytesSpilled: m.BytesSpilled,
+			SpillRuns:    m.SpillRuns,
+			BucketsSplit: m.BucketsSplit,
+			Backpressure: m.Backpressure,
+		},
+		Trace:   root,
+		Metrics: reg.Values(),
+	}
+	return res, nil
 }
 
 // run is invoked from Database.ExecuteStmt.
-func (db *Database) run(ctx context.Context, p *queryPlan) (*Result, error) { return p.run(ctx, db) }
+func (db *Database) run(ctx context.Context, p *queryPlan, eo execOpts) (*Result, error) {
+	return p.run(ctx, db, eo)
+}
 
 func filterData(clus *cluster.Cluster, data cluster.Data, pred expr.Evaluator) (cluster.Data, error) {
 	return clus.Run(data, func(_ int, in []types.Record) ([]types.Record, error) {

@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"fudj/internal/cluster"
 	"fudj/internal/core"
 	"fudj/internal/expr"
+	"fudj/internal/trace"
 	"fudj/internal/types"
 )
 
@@ -26,7 +26,7 @@ import (
 // columns, [bucket_id, key, fields...], so verify never recomputes key
 // expressions per candidate pair. Under DedupElimination a third
 // leading column carries a globally unique row id.
-func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters *statsCounters, mem *memState, f *fudjStep,
+func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters *statsCounters, mem *memState, jsp *trace.Span, f *fudjStep,
 	left cluster.Data, leftSchema *types.Schema,
 	right cluster.Data, rightSchema *types.Schema, outSchema *types.Schema) (cluster.Data, error) {
 
@@ -47,7 +47,13 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 	}
 
 	// ---- SUMMARIZE ----
-	phaseStart := time.Now() //fudjvet:ignore seedrand -- phase-timing metric only; never feeds an execution decision
+	sumSpan := jsp.Child("SUMMARIZE")
+	prevSpan := clus.SetSpan(sumSpan)
+	var shuf0, bcast0 int64
+	if sumSpan != nil {
+		shuf0, bcast0 = clus.Metrics().BytesShuffled(), clus.Metrics().BytesBroadcast()
+	}
+	phaseStart := db.clock.Now()
 	summarize := func(side core.Side, data cluster.Data, key expr.Evaluator) (core.Summary, error) {
 		locals, err := cluster.RunValues(clus, data, func(part int, in []types.Record) (buf []byte, err error) {
 			rec := -1
@@ -134,8 +140,16 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		return nil, err
 	}
 
-	counters.summarize.Add(int64(time.Since(phaseStart)))
-	phaseStart = time.Now() //fudjvet:ignore seedrand -- phase-timing metric only; never feeds an execution decision
+	counters.summarize.Add(int64(db.clock.Now().Sub(phaseStart)))
+	if sumSpan != nil {
+		sumSpan.Add("rows.in", int64(left.Rows())+int64(right.Rows()))
+		sumSpan.Add("state.bytes", int64(len(planBuf)))
+		sumSpan.Add("broadcast.bytes", clus.Metrics().BytesBroadcast()-bcast0)
+	}
+	sumSpan.End()
+	partSpan := jsp.Child("PARTITION")
+	clus.SetSpan(partSpan)
+	phaseStart = db.clock.Now()
 
 	// ---- PARTITION (assign + unnest) ----
 	// Records are extended with leading metadata columns:
@@ -197,8 +211,12 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		return nil, fmt.Errorf("fudj %s: assign right: %w", f.def.Name, err)
 	}
 
-	counters.partition.Add(int64(time.Since(phaseStart)))
-	phaseStart = time.Now() //fudjvet:ignore seedrand -- phase-timing metric only; never feeds an execution decision
+	counters.partition.Add(int64(db.clock.Now().Sub(phaseStart)))
+	partSpan.Add("rows.out", int64(lAssigned.Rows())+int64(rAssigned.Rows()))
+	partSpan.End()
+	combSpan := jsp.Child("COMBINE")
+	clus.SetSpan(combSpan)
+	phaseStart = db.clock.Now()
 
 	// ---- COMBINE ----
 	if err := ctx.Err(); err != nil {
@@ -394,7 +412,13 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		}
 	}
 
-	counters.combine.Add(int64(time.Since(phaseStart)))
+	counters.combine.Add(int64(db.clock.Now().Sub(phaseStart)))
+	if combSpan != nil {
+		combSpan.Add("rows.out", int64(combined.Rows()))
+		combSpan.Add("shuffle.bytes", clus.Metrics().BytesShuffled()-shuf0)
+	}
+	combSpan.End()
+	clus.SetSpan(prevSpan)
 	counters.joinOutput.Add(int64(combined.Rows()))
 	if got, want := schemaWidth(combined), outSchema.Len(); got >= 0 && got != want {
 		return nil, fmt.Errorf("fudj %s: joined record has %d fields, schema wants %d", f.def.Name, got, want)

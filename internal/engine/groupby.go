@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"hash/maphash"
 
 	"fudj/internal/cluster"
 	"fudj/internal/expr"
@@ -171,8 +170,6 @@ func decodePartial(vals []types.Value) *aggState {
 	}
 }
 
-var groupHashSeed = maphash.MakeSeed()
-
 // groupKey serializes group values into a comparable string.
 func groupKey(vals []types.Value) string {
 	e := wire.NewEncoder(32)
@@ -259,10 +256,7 @@ func (p *queryPlan) runGroupBy(clus *cluster.Cluster, data cluster.Data, schema 
 
 	// Phase 2: exchange partials by group key hash.
 	shuffled, err := clus.ExchangeHash(partials, func(r types.Record) uint64 {
-		var h maphash.Hash
-		h.SetSeed(groupHashSeed)
-		h.WriteString(groupKey(r[:nG]))
-		return h.Sum64()
+		return types.HashString(groupKey(r[:nG]))
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"fudj/internal/cluster"
+	"fudj/internal/trace"
+)
+
+// Option configures a Database at Open time. Options compose left to
+// right; later options win. The legacy Options struct also satisfies
+// this interface, so pre-redesign call sites keep compiling.
+type Option interface {
+	applyOption(db *Database) error
+}
+
+// optionFunc adapts a plain function to the Option interface.
+type optionFunc func(*Database) error
+
+func (f optionFunc) applyOption(db *Database) error { return f(db) }
+
+// WithCluster sizes the simulated cluster (nodes × cores per node).
+func WithCluster(nodes, coresPerNode int) Option {
+	return WithClusterConfig(cluster.Config{Nodes: nodes, CoresPerNode: coresPerNode})
+}
+
+// WithClusterConfig installs a full cluster configuration.
+func WithClusterConfig(cfg cluster.Config) Option {
+	return optionFunc(func(db *Database) error {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		db.clusterCfg = cfg
+		return nil
+	})
+}
+
+// WithJoinMode selects how FUDJ predicates execute (FUDJ plan or
+// registered built-in operators).
+func WithJoinMode(m JoinMode) Option {
+	return optionFunc(func(db *Database) error {
+		db.mode = m
+		return nil
+	})
+}
+
+// WithSmartTheta enables the balanced theta bucket-matching operator
+// for multi-join FUDJs (see Database.SetSmartTheta).
+func WithSmartTheta(on bool) Option {
+	return optionFunc(func(db *Database) error {
+		db.smartTheta = on
+		return nil
+	})
+}
+
+// WithMemoryBudget bounds the transient memory of every query to the
+// given total bytes, split evenly over partitions. Under a budget,
+// shuffle inboxes are credit-bounded (senders block instead of
+// buffering without limit) and COMBINE hash builds that exceed their
+// partition's share spill bucket runs to disk and re-join them
+// hybrid-hash style, skew-splitting buckets too large to ever fit. A
+// record larger than the per-partition hard cap (2x the share) fails
+// the query with a structured *core.ResourceError. Zero or negative
+// disables bounding; unbounded execution is byte-for-byte unchanged.
+func WithMemoryBudget(bytes int64) Option {
+	return optionFunc(func(db *Database) error {
+		if bytes < 0 {
+			bytes = 0
+		}
+		db.memBudget = bytes
+		return nil
+	})
+}
+
+// WithFaults arms deterministic fault injection: every query execution
+// builds a fresh injector from this configuration, so the same query
+// sees the same faults on every run. A nil config disables injection.
+func WithFaults(cfg *cluster.FaultConfig) Option {
+	return optionFunc(func(db *Database) error {
+		if cfg == nil {
+			db.faultCfg = nil
+			return nil
+		}
+		c := *cfg
+		db.faultCfg = &c
+		return nil
+	})
+}
+
+// WithRetryPolicy overrides the cluster's task retry policy (backoff
+// shape, attempt cap, speculation).
+func WithRetryPolicy(pol cluster.RetryPolicy) Option {
+	return optionFunc(func(db *Database) error {
+		db.retryPol = &pol
+		return nil
+	})
+}
+
+// WithTracing enables execution tracing for every query: each Result
+// carries its root span in Result.Trace. Per-query tracing is the
+// Trace exec option instead.
+func WithTracing() Option {
+	return optionFunc(func(db *Database) error {
+		db.tracing = true
+		return nil
+	})
+}
+
+// WithClock injects the clock used for all execution timing (elapsed,
+// phase times, busy time, span timestamps). Tests install a
+// deterministic trace.FakeClock; the default is the wall clock.
+func WithClock(c trace.Clock) Option {
+	return optionFunc(func(db *Database) error {
+		if c != nil {
+			db.clock = c
+		}
+		return nil
+	})
+}
+
+// Options is the legacy configuration struct. It satisfies Option, so
+// Open(Options{...}) and Open(OptionsFor(n, c)) keep working.
+//
+// Deprecated: pass WithCluster / WithClusterConfig to Open instead.
+type Options struct {
+	Cluster cluster.Config
+}
+
+func (o Options) applyOption(db *Database) error {
+	return WithClusterConfig(o.Cluster).applyOption(db)
+}
+
+// DefaultOptions mirror the paper's testbed shape at laptop scale:
+// 4 nodes with 2 cores each.
+//
+// Deprecated: Open() with no options already uses this shape.
+func DefaultOptions() Options {
+	return Options{Cluster: cluster.Config{Nodes: 4, CoresPerNode: 2}}
+}

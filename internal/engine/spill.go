@@ -218,6 +218,16 @@ func boundedCombine(mem *memState, joinName string, part int,
 	}
 
 	// ---- spilled pass: re-join each spilled bucket hybrid-hash style ----
+	// The probe pass is over, so the resident build buckets are dead:
+	// return their reservation first. Otherwise a spilled bucket's
+	// build chunk (itself up to the partition share) stacks on top of
+	// the resident bytes and the tracked peak can exceed the budget.
+	var residentHeld int64
+	for _, n := range residentBytes {
+		residentHeld += n
+	}
+	acct.release(residentHeld)
+	resident, residentBytes = nil, nil
 	spilledIDs := make([]int, 0, len(spilled))
 	for b := range spilled {
 		spilledIDs = append(spilledIDs, b)

@@ -30,22 +30,22 @@ func TestBoundedEquivalence(t *testing.T) {
 	for _, q := range chaosQueries {
 		res := mustQuery(t, db, q.sql)
 		sameRows(t, q.name+" under budget", res.Rows, baseline[q.name])
-		if res.BytesSpilled == 0 || res.SpillRuns == 0 {
+		if res.Memory.BytesSpilled == 0 || res.Memory.SpillRuns == 0 {
 			t.Errorf("%s: budget %d forced no spilling (spilled=%d runs=%d)",
-				q.name, tinyBudget, res.BytesSpilled, res.SpillRuns)
+				q.name, tinyBudget, res.Memory.BytesSpilled, res.Memory.SpillRuns)
 		}
-		if res.PeakMemory <= 0 {
+		if res.Memory.Peak <= 0 {
 			t.Errorf("%s: PeakMemory not tracked", q.name)
 		}
-		if res.PeakMemory > tinyBudget {
-			t.Errorf("%s: PeakMemory %d exceeds budget %d", q.name, res.PeakMemory, tinyBudget)
+		if res.Memory.Peak > tinyBudget {
+			t.Errorf("%s: PeakMemory %d exceeds budget %d", q.name, res.Memory.Peak, tinyBudget)
 		}
-		if res.Backpressure == 0 {
+		if res.Memory.Backpressure == 0 {
 			t.Errorf("%s: bounded inboxes reported no backpressure", q.name)
 		}
 		t.Logf("%s: peak=%d input=%d spilled=%d runs=%d split=%d bp=%d",
-			q.name, res.PeakMemory, res.PeakInput, res.BytesSpilled,
-			res.SpillRuns, res.BucketsSplit, res.Backpressure)
+			q.name, res.Memory.Peak, res.Memory.PeakInput, res.Memory.BytesSpilled,
+			res.Memory.SpillRuns, res.Memory.BucketsSplit, res.Memory.Backpressure)
 	}
 }
 
@@ -60,11 +60,11 @@ func TestBoundedSmartThetaEquivalence(t *testing.T) {
 	db.SetMemoryBudget(tinyBudget)
 	res := mustQuery(t, db, sql)
 	sameRows(t, "smart theta under budget", res.Rows, baseline)
-	if res.BytesSpilled == 0 {
+	if res.Memory.BytesSpilled == 0 {
 		t.Error("smart theta under budget did not spill")
 	}
-	if res.PeakMemory > tinyBudget {
-		t.Errorf("PeakMemory %d exceeds budget %d", res.PeakMemory, tinyBudget)
+	if res.Memory.Peak > tinyBudget {
+		t.Errorf("PeakMemory %d exceeds budget %d", res.Memory.Peak, tinyBudget)
 	}
 }
 
@@ -84,14 +84,14 @@ func TestBoundedWithFaults(t *testing.T) {
 	for _, q := range chaosQueries {
 		res := mustQuery(t, db, q.sql)
 		sameRows(t, q.name+" under budget+chaos", res.Rows, baseline[q.name])
-		if res.Retries == 0 {
+		if res.Faults.Retries == 0 {
 			t.Errorf("%s: no retries at crash p=0.2", q.name)
 		}
-		if res.BytesSpilled == 0 {
+		if res.Memory.BytesSpilled == 0 {
 			t.Errorf("%s: no spilling under budget", q.name)
 		}
-		if res.PeakMemory > tinyBudget {
-			t.Errorf("%s: PeakMemory %d exceeds budget %d", q.name, res.PeakMemory, tinyBudget)
+		if res.Memory.Peak > tinyBudget {
+			t.Errorf("%s: PeakMemory %d exceeds budget %d", q.name, res.Memory.Peak, tinyBudget)
 		}
 	}
 }
@@ -101,8 +101,8 @@ func TestBoundedWithFaults(t *testing.T) {
 func TestUnboundedUnchanged(t *testing.T) {
 	db := newTestDB(t)
 	res := mustQuery(t, db, chaosQueries[0].sql)
-	if res.PeakMemory != 0 || res.PeakInput != 0 || res.BytesSpilled != 0 ||
-		res.SpillRuns != 0 || res.BucketsSplit != 0 || res.Backpressure != 0 {
+	if res.Memory.Peak != 0 || res.Memory.PeakInput != 0 || res.Memory.BytesSpilled != 0 ||
+		res.Memory.SpillRuns != 0 || res.Memory.BucketsSplit != 0 || res.Memory.Backpressure != 0 {
 		t.Errorf("unbounded run reported memory counters: %+v", res)
 	}
 	db.SetMemoryBudget(-5) // negative clamps to unbounded
@@ -144,11 +144,11 @@ func TestBucketSplitOnSkew(t *testing.T) {
 	db.SetMemoryBudget(tinyBudget)
 	res := mustQuery(t, db, sql)
 	sameRows(t, "skew split", res.Rows, baseline.Rows)
-	if res.BucketsSplit == 0 {
+	if res.Memory.BucketsSplit == 0 {
 		t.Error("hot bucket was not skew-split")
 	}
-	if res.PeakMemory > tinyBudget {
-		t.Errorf("PeakMemory %d exceeds budget %d", res.PeakMemory, tinyBudget)
+	if res.Memory.Peak > tinyBudget {
+		t.Errorf("PeakMemory %d exceeds budget %d", res.Memory.Peak, tinyBudget)
 	}
 }
 

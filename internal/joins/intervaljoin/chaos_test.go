@@ -95,7 +95,7 @@ func TestChaosEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatalf("chaos run failed: %v", err)
 	}
-	if chaos.Retries == 0 {
+	if chaos.Faults.Retries == 0 {
 		t.Error("no retries recorded under injected crashes")
 	}
 	sameMultiset(t, clean.Rows, chaos.Rows)
@@ -125,17 +125,17 @@ func TestMemoryBoundedChaos(t *testing.T) {
 		t.Fatalf("memory-bounded chaos run failed: %v", err)
 	}
 	sameMultiset(t, clean.Rows, bounded.Rows)
-	if bounded.BytesSpilled == 0 || bounded.SpillRuns == 0 {
+	if bounded.Memory.BytesSpilled == 0 || bounded.Memory.SpillRuns == 0 {
 		t.Errorf("budget %d forced no spilling (spilled=%d runs=%d)",
-			budget, bounded.BytesSpilled, bounded.SpillRuns)
+			budget, bounded.Memory.BytesSpilled, bounded.Memory.SpillRuns)
 	}
-	if bounded.Retries == 0 {
+	if bounded.Faults.Retries == 0 {
 		t.Error("no retries recorded under injected crashes")
 	}
-	if bounded.PeakMemory <= 0 || bounded.PeakMemory > budget {
-		t.Errorf("PeakMemory %d outside (0, %d]", bounded.PeakMemory, budget)
+	if bounded.Memory.Peak <= 0 || bounded.Memory.Peak > budget {
+		t.Errorf("PeakMemory %d outside (0, %d]", bounded.Memory.Peak, budget)
 	}
 	t.Logf("peak=%d spilled=%d runs=%d split=%d retries=%d",
-		bounded.PeakMemory, bounded.BytesSpilled, bounded.SpillRuns,
-		bounded.BucketsSplit, bounded.Retries)
+		bounded.Memory.Peak, bounded.Memory.BytesSpilled, bounded.Memory.SpillRuns,
+		bounded.Memory.BucketsSplit, bounded.Faults.Retries)
 }

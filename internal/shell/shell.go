@@ -7,10 +7,12 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"fudj"
 	"fudj/internal/storage"
+	"fudj/internal/trace"
 )
 
 // Config controls the demo environment the shell opens with.
@@ -125,21 +127,77 @@ func PrintResult(w io.Writer, res *fudj.Result) {
 	}
 	if res.Elapsed > 0 {
 		fmt.Fprintf(w, "(%d rows, %v, %d bytes shuffled, %d candidates -> %d verified)\n",
-			len(res.Rows), res.Elapsed.Round(1000), res.BytesShuffled,
-			res.Stats.Candidates, res.Stats.Verified)
+			len(res.Rows), res.Elapsed.Round(1000), res.Cluster.BytesShuffled,
+			res.Join.Candidates, res.Join.Verified)
+	}
+}
+
+// printTiming renders the per-phase breakdown behind \timing on.
+func printTiming(w io.Writer, res *fudj.Result) {
+	if res.Join.SummarizeTime+res.Join.PartitionTime+res.Join.CombineTime == 0 {
+		return
+	}
+	fmt.Fprintf(w, "timing: SUMMARIZE %v  PARTITION %v  COMBINE %v\n",
+		res.Join.SummarizeTime.Round(1000),
+		res.Join.PartitionTime.Round(1000),
+		res.Join.CombineTime.Round(1000))
+}
+
+// printTrace renders the span tree behind \trace on. EXPLAIN ANALYZE
+// results already carry the render in their rows, so those are skipped.
+func printTrace(w io.Writer, res *fudj.Result) {
+	if res.Trace == nil {
+		return
+	}
+	if res.Schema != nil && res.Schema.Len() == 1 && res.Schema.Fields[0].Name == "plan" {
+		return
+	}
+	for _, line := range trace.RenderLines(res.Trace, trace.RenderOptions{CollapseTasks: true}) {
+		fmt.Fprintln(w, line)
 	}
 }
 
 // ExecuteAll runs each ';'-separated statement, printing results to w.
-func ExecuteAll(db *fudj.DB, w io.Writer, input string) error {
+// Exec options (e.g. fudj.Trace()) apply to every statement; when a
+// result carries a trace, the span tree is printed after it.
+func ExecuteAll(db *fudj.DB, w io.Writer, input string, opts ...fudj.ExecOption) error {
 	for _, stmt := range SplitStatements(input) {
-		res, err := db.Execute(stmt)
+		res, err := db.Execute(stmt, opts...)
 		if err != nil {
 			return err
 		}
 		PrintResult(w, res)
+		printTrace(w, res)
 	}
 	return nil
+}
+
+// ExecuteAllChrome is ExecuteAll plus a Chrome trace-event JSON dump of
+// the last statement's span tree to path, loadable in Perfetto or
+// chrome://tracing.
+func ExecuteAllChrome(db *fudj.DB, w io.Writer, input, path string, opts ...fudj.ExecOption) error {
+	var last *fudj.Result
+	for _, stmt := range SplitStatements(input) {
+		res, err := db.Execute(stmt, opts...)
+		if err != nil {
+			return err
+		}
+		PrintResult(w, res)
+		printTrace(w, res)
+		last = res
+	}
+	if last == nil || last.Trace == nil {
+		return fmt.Errorf("no trace collected; pass fudj.Trace()")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, last.Trace); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // saveLoad handles the \save and \load backslash commands.
@@ -173,6 +231,17 @@ func Repl(db *fudj.DB, in io.Reader, out io.Writer) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
+	var traceOn, timingOn bool
+	onOff := func(cmd, arg string) (bool, bool) {
+		switch arg {
+		case "on":
+			return true, true
+		case "off":
+			return false, true
+		}
+		fmt.Fprintf(out, "usage: %s on|off\n", cmd)
+		return false, false
+	}
 	for {
 		if pending.Len() == 0 {
 			fmt.Fprint(out, "fudj> ")
@@ -204,8 +273,27 @@ func Repl(db *fudj.DB, in io.Reader, out io.Writer) {
   \joins               list installed joins
   \save <name> <file>  save a dataset to a binary file
   \load <name> <file>  load a dataset from a binary file
+  \trace on|off        print the execution span tree after each query
+  \timing on|off       print the per-phase time breakdown
   \q                   quit
-  EXPLAIN SELECT ... shows the optimizer plan`)
+  EXPLAIN SELECT ... shows the optimizer plan
+  EXPLAIN ANALYZE SELECT ... executes and shows measured per-operator spans`)
+			continue
+		}
+		if strings.HasPrefix(trimmed, `\trace`) || strings.HasPrefix(trimmed, `\timing`) {
+			parts := strings.Fields(trimmed)
+			arg := ""
+			if len(parts) == 2 {
+				arg = parts[1]
+			}
+			if v, ok := onOff(parts[0], arg); ok {
+				if parts[0] == `\trace` {
+					traceOn = v
+				} else {
+					timingOn = v
+				}
+				fmt.Fprintf(out, "%s %s\n", strings.TrimPrefix(parts[0], `\`), arg)
+			}
 			continue
 		}
 		if strings.HasPrefix(trimmed, `\save `) || strings.HasPrefix(trimmed, `\load `) {
@@ -219,10 +307,25 @@ func Repl(db *fudj.DB, in io.Reader, out io.Writer) {
 		pending.WriteString(line)
 		pending.WriteByte('\n')
 		if strings.Contains(line, ";") {
-			stmt := pending.String()
+			input := pending.String()
 			pending.Reset()
-			if err := ExecuteAll(db, out, stmt); err != nil {
-				fmt.Fprintln(out, "error:", err)
+			var opts []fudj.ExecOption
+			if traceOn {
+				opts = append(opts, fudj.Trace())
+			}
+			for _, stmt := range SplitStatements(input) {
+				res, err := db.Execute(stmt, opts...)
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+					break
+				}
+				PrintResult(out, res)
+				if timingOn {
+					printTiming(out, res)
+				}
+				if traceOn {
+					printTrace(out, res)
+				}
 			}
 		}
 	}

@@ -84,6 +84,7 @@ type OrderItem struct {
 // Select is a parsed query block.
 type Select struct {
 	Explain  bool
+	Analyze  bool // EXPLAIN ANALYZE: execute and render measured spans
 	Distinct bool
 	Into     string // SELECT ... INTO dataset: materialize the result
 	Items    []SelectItem
@@ -102,6 +103,9 @@ func (s *Select) String() string {
 	var sb strings.Builder
 	if s.Explain {
 		sb.WriteString("EXPLAIN ")
+		if s.Analyze {
+			sb.WriteString("ANALYZE ")
+		}
 	}
 	sb.WriteString("SELECT ")
 	if s.Distinct {

@@ -46,7 +46,7 @@ var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
 	"ORDER": true, "LIMIT": true, "INTO": true, "HAVING": true, "DISTINCT": true, "AS": true, "AND": true, "OR": true,
 	"NOT": true, "DESC": true, "ASC": true, "CREATE": true, "DROP": true,
-	"JOIN": true, "RETURNS": true, "AT": true, "EXPLAIN": true,
+	"JOIN": true, "RETURNS": true, "AT": true, "EXPLAIN": true, "ANALYZE": true,
 	"TRUE": true, "FALSE": true, "NULL": true, "COUNT": true, "SUM": true,
 	"AVG": true, "MIN": true, "MAX": true,
 }

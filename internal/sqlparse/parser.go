@@ -185,6 +185,9 @@ func (p *parser) parseSelect() (Statement, error) {
 	sel := &Select{Limit: -1}
 	if p.accept(tokKeyword, "EXPLAIN") {
 		sel.Explain = true
+		if p.accept(tokKeyword, "ANALYZE") {
+			sel.Analyze = true
+		}
 	}
 	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
 		return nil, err

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeEvent is one trace_event entry in the Chrome/Perfetto JSON
+// format (the "X" complete-event flavour): load the exported array in
+// chrome://tracing or https://ui.perfetto.dev to see the query as a
+// flame chart. Counters travel in Args.
+type ChromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`  // microseconds since trace start
+	Dur  int64            `json:"dur"` // microseconds
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// ChromeEvents flattens the span tree into trace_event entries,
+// depth-first in creation order. Timestamps are relative to the root
+// span's start so exports are comparable run to run. Task spans use
+// their partition id as the thread id, so Perfetto lays partitions out
+// as parallel tracks; structural spans render on track 0.
+func ChromeEvents(root *Span) []ChromeEvent {
+	if root == nil {
+		return nil
+	}
+	base := root.Start()
+	var events []ChromeEvent
+	root.Walk(func(depth int, sp *Span) {
+		tid := 0
+		if p := sp.Part(); p >= 0 {
+			tid = p + 1
+		}
+		cat := "operator"
+		if sp.Part() >= 0 {
+			cat = "task"
+		}
+		events = append(events, ChromeEvent{
+			Name: sp.Name(),
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   sp.Start().Sub(base).Microseconds(),
+			Dur:  sp.Duration().Microseconds(),
+			Pid:  1,
+			Tid:  tid,
+			Args: sp.Counters(),
+		})
+	})
+	return events
+}
+
+// WriteChromeTrace writes the span tree to w as a Chrome trace_event
+// JSON array, the format chrome://tracing and Perfetto load directly.
+func WriteChromeTrace(w io.Writer, root *Span) error {
+	enc := json.NewEncoder(w)
+	events := ChromeEvents(root)
+	if events == nil {
+		events = []ChromeEvent{}
+	}
+	return enc.Encode(events)
+}

@@ -1,0 +1,57 @@
+// Package trace is the engine's zero-dependency execution tracer: a
+// span tree mirroring the executed plan (query → join step → phase →
+// partition task) with per-span counters, a text renderer for EXPLAIN
+// ANALYZE, and a Chrome trace_event exporter so a run can be opened in
+// chrome://tracing or Perfetto.
+//
+// Timestamps come from an injected Clock, never from time.Now inside
+// the execution packages (the seedrand analyzer bans it there): the
+// engine owns one clock and plumbs it through the cluster, so tests
+// can substitute a deterministic fake.
+//
+// Every Span method is safe on a nil receiver and does nothing, so
+// code under a disabled tracer pays only a nil check.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies timestamps to the tracer and to busy-time accounting
+// in the execution packages.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock reads the system clock. It is the default clock of a
+// database; the execution packages only ever see it through the Clock
+// interface.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a deterministic clock for tests: every Now call
+// advances a fixed step from the start instant. It is safe for
+// concurrent use.
+type FakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewFakeClock returns a FakeClock starting at start and advancing by
+// step on every Now call.
+func NewFakeClock(start time.Time, step time.Duration) *FakeClock {
+	return &FakeClock{now: start, step: step}
+}
+
+// Now implements Clock: it returns the current instant and advances.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderOptions shape the text rendering of a span tree.
+type RenderOptions struct {
+	// CollapseTasks folds a span's partition-task children into one
+	// summary line (task count, busiest/total task time, summed
+	// counters) — what EXPLAIN ANALYZE wants, where per-task detail
+	// would drown the plan shape.
+	CollapseTasks bool
+}
+
+// Render returns the span tree as an indented text block, one line per
+// span: name, partition (for tasks), wall time, and the counters in
+// sorted key order.
+func Render(root *Span, opts RenderOptions) string {
+	if root == nil {
+		return ""
+	}
+	var b strings.Builder
+	renderSpan(&b, root, 0, opts)
+	return b.String()
+}
+
+// RenderLines is Render split into lines (EXPLAIN ANALYZE emits one
+// output row per line).
+func RenderLines(root *Span, opts RenderOptions) []string {
+	s := Render(root, opts)
+	if s == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimRight(s, "\n"), "\n")
+}
+
+func renderSpan(b *strings.Builder, s *Span, depth int, opts RenderOptions) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s", indent, s.Name())
+	if p := s.Part(); p >= 0 {
+		fmt.Fprintf(b, " part=%d", p)
+	}
+	fmt.Fprintf(b, " time=%s", fmtDuration(s.Duration()))
+	s.mu.Lock()
+	keys := s.counterKeys()
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%d", k, s.counters[k])
+	}
+	s.mu.Unlock()
+	b.WriteByte('\n')
+
+	children := s.Children()
+	if opts.CollapseTasks {
+		var tasks []*Span
+		rest := children[:0:0]
+		for _, c := range children {
+			if c.Part() >= 0 {
+				tasks = append(tasks, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		if len(tasks) > 0 {
+			renderTaskSummary(b, tasks, depth+1)
+		}
+		children = rest
+	}
+	for _, c := range children {
+		renderSpan(b, c, depth+1, opts)
+	}
+}
+
+// renderTaskSummary folds sibling partition-task spans into one line.
+func renderTaskSummary(b *strings.Builder, tasks []*Span, depth int) {
+	var maxD, total time.Duration
+	sums := make(map[string]int64)
+	for _, t := range tasks {
+		d := t.Duration()
+		total += d
+		if d > maxD {
+			maxD = d
+		}
+		for k, v := range t.Counters() {
+			sums[k] += v
+		}
+	}
+	keys := make([]string, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(b, "%stasks n=%d max=%s total=%s", strings.Repeat("  ", depth),
+		len(tasks), fmtDuration(maxD), fmtDuration(total))
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%d", k, sums[k])
+	}
+	b.WriteByte('\n')
+}
+
+// fmtDuration renders durations with stable precision so trace output
+// columns stay comparable across spans.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

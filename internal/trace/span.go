@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed node of the trace tree. Spans are created started;
+// End stamps the finish time. A span's counters accumulate whatever
+// the emitting operator finds useful (rows in/out, bytes shuffled,
+// spill runs, retries); counter keys are rendered sorted so output is
+// deterministic.
+//
+// All methods are safe on a nil *Span (they do nothing and Child
+// returns nil), which is how disabled tracing stays nearly free, and
+// safe for concurrent use, which is how parallel partition tasks emit
+// into one tree.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	part     int // partition id for task spans, -1 otherwise
+	clock    Clock
+	start    time.Time
+	end      time.Time
+	counters map[string]int64
+	children []*Span
+}
+
+// NewSpan starts a root span on the given clock.
+func NewSpan(clock Clock, name string) *Span {
+	return &Span{name: name, part: -1, clock: clock, start: clock.Now()}
+}
+
+// Child starts a sub-span. Safe on nil (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, part: -1, clock: s.clock, start: s.clock.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Task starts a partition-task sub-span. Safe on nil (returns nil).
+func (s *Span) Task(part int) *Span {
+	c := s.Child("task")
+	if c != nil {
+		c.part = part
+	}
+	return c
+}
+
+// End stamps the span's finish time. Calling End twice keeps the first
+// stamp. Safe on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = s.clock.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Add accumulates n into the named counter. Safe on nil.
+func (s *Span) Add(name string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[name] += n
+	s.mu.Unlock()
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Part returns the partition id for task spans, -1 otherwise.
+func (s *Span) Part() int {
+	if s == nil {
+		return -1
+	}
+	return s.part
+}
+
+// Duration returns end-start, or zero while the span is still open.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// Start returns the span's start instant.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Counter returns one counter's value (zero when absent).
+func (s *Span) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Counters returns a copy of the span's counters.
+func (s *Span) Counters() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.counters) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// counterKeys returns the counter names sorted, for deterministic
+// rendering.
+func (s *Span) counterKeys() []string {
+	keys := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Children returns a copy of the child list in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span and every descendant depth-first in creation
+// order. Safe on nil.
+func (s *Span) Walk(visit func(depth int, sp *Span)) {
+	if s == nil {
+		return
+	}
+	s.walk(0, visit)
+}
+
+func (s *Span) walk(depth int, visit func(depth int, sp *Span)) {
+	visit(depth, s)
+	for _, c := range s.Children() {
+		c.walk(depth+1, visit)
+	}
+}

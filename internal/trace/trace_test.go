@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fake() *FakeClock {
+	return NewFakeClock(time.Unix(1000, 0), time.Millisecond)
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatalf("nil.Child returned %v", c)
+	}
+	s.Task(3).Add("n", 1)
+	s.End()
+	s.Add("n", 1)
+	if s.Name() != "" || s.Part() != -1 || s.Duration() != 0 || s.Counter("n") != 0 {
+		t.Fatal("nil span accessors not zero-valued")
+	}
+	if got := Render(s, RenderOptions{}); got != "" {
+		t.Fatalf("Render(nil) = %q", got)
+	}
+	if got := ChromeEvents(s); got != nil {
+		t.Fatalf("ChromeEvents(nil) = %v", got)
+	}
+	s.Walk(func(int, *Span) { t.Fatal("Walk visited nil span") })
+}
+
+func TestFakeClockAdvances(t *testing.T) {
+	clk := fake()
+	a := clk.Now()
+	b := clk.Now()
+	if !b.After(a) {
+		t.Fatalf("clock did not advance: %v then %v", a, b)
+	}
+	if step := b.Sub(a); step != time.Millisecond {
+		t.Fatalf("step = %v, want 1ms", step)
+	}
+}
+
+func TestSpanTreeShape(t *testing.T) {
+	clk := fake()
+	root := NewSpan(clk, "query")
+	join := root.Child("join")
+	sum := join.Child("SUMMARIZE")
+	sum.Add("rows.in", 10)
+	sum.End()
+	comb := join.Child("COMBINE")
+	comb.Add("rows.out", 3)
+	comb.End()
+	join.End()
+	root.End()
+
+	var names []string
+	root.Walk(func(depth int, sp *Span) { names = append(names, sp.Name()) })
+	want := []string{"query", "join", "SUMMARIZE", "COMBINE"}
+	if len(names) != len(want) {
+		t.Fatalf("walk visited %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", names, want)
+		}
+	}
+	if sum.Duration() <= 0 {
+		t.Fatalf("SUMMARIZE duration = %v", sum.Duration())
+	}
+	if got := sum.Counter("rows.in"); got != 10 {
+		t.Fatalf("rows.in = %d", got)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	clk := fake()
+	s := NewSpan(clk, "x")
+	s.End()
+	d := s.Duration()
+	s.End()
+	if s.Duration() != d {
+		t.Fatalf("second End changed duration: %v -> %v", d, s.Duration())
+	}
+}
+
+// TestConcurrentTaskSpans exercises the span tree the way the cluster
+// does: task spans pre-created in partition order, then goroutines
+// ending them and adding counters concurrently. Run under -race this
+// is the data-race check for the tree.
+func TestConcurrentTaskSpans(t *testing.T) {
+	clk := fake()
+	root := NewSpan(clk, "query")
+	const parts = 16
+	spans := make([]*Span, parts)
+	for p := 0; p < parts; p++ {
+		spans[p] = root.Task(p)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				spans[p].Add("records.in", 1)
+			}
+			spans[p].End()
+		}(p)
+	}
+	wg.Wait()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != parts {
+		t.Fatalf("children = %d, want %d", len(kids), parts)
+	}
+	// Pre-creation in partition order makes the tree deterministic even
+	// though the goroutines raced.
+	for i, c := range kids {
+		if c.Part() != i {
+			t.Fatalf("child %d has part %d", i, c.Part())
+		}
+		if got := c.Counter("records.in"); got != 100 {
+			t.Fatalf("part %d records.in = %d", i, got)
+		}
+	}
+}
+
+func TestRenderCollapseTasks(t *testing.T) {
+	clk := fake()
+	root := NewSpan(clk, "query")
+	for p := 0; p < 3; p++ {
+		sp := root.Task(p)
+		sp.Add("records.in", int64(10*(p+1)))
+		sp.End()
+	}
+	ex := root.Child("exchange")
+	ex.End()
+	root.End()
+
+	full := Render(root, RenderOptions{})
+	if strings.Count(full, "task part=") != 3 {
+		t.Fatalf("full render missing task lines:\n%s", full)
+	}
+
+	folded := Render(root, RenderOptions{CollapseTasks: true})
+	if strings.Contains(folded, "part=") {
+		t.Fatalf("collapsed render still has per-task lines:\n%s", folded)
+	}
+	if !strings.Contains(folded, "tasks n=3") || !strings.Contains(folded, "records.in=60") {
+		t.Fatalf("collapsed render missing task summary:\n%s", folded)
+	}
+	if !strings.Contains(folded, "exchange") {
+		t.Fatalf("collapsed render dropped non-task child:\n%s", folded)
+	}
+}
+
+func TestRenderDeterministicCounterOrder(t *testing.T) {
+	clk := fake()
+	s := NewSpan(clk, "x")
+	s.Add("zzz", 1)
+	s.Add("aaa", 2)
+	s.Add("mmm", 3)
+	s.End()
+	line := Render(s, RenderOptions{})
+	ia, im, iz := strings.Index(line, "aaa="), strings.Index(line, "mmm="), strings.Index(line, "zzz=")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("counters not sorted: %q", line)
+	}
+}
+
+// TestChromeExportSchema validates the exported JSON against the
+// trace_event contract chrome://tracing and Perfetto expect: an array
+// of complete events with name/cat/ph/ts/dur/pid/tid, ph always "X",
+// timestamps relative to the root and non-negative, children nested
+// inside their parents' intervals.
+func TestChromeExportSchema(t *testing.T) {
+	clk := fake()
+	root := NewSpan(clk, "query")
+	join := root.Child("join")
+	for p := 0; p < 2; p++ {
+		sp := join.Task(p)
+		sp.Add("records.in", 5)
+		sp.End()
+	}
+	join.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not a JSON array: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	for i, ev := range events {
+		for _, key := range []string{"name", "cat", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Fatalf("event %d ph = %v, want X", i, ev["ph"])
+		}
+		if ts := ev["ts"].(float64); ts < 0 {
+			t.Fatalf("event %d ts = %v", i, ts)
+		}
+		if ev["pid"].(float64) != 1 {
+			t.Fatalf("event %d pid = %v", i, ev["pid"])
+		}
+		switch ev["cat"] {
+		case "operator":
+			if ev["tid"].(float64) != 0 {
+				t.Fatalf("operator event on tid %v", ev["tid"])
+			}
+		case "task":
+			if ev["tid"].(float64) < 1 {
+				t.Fatalf("task event on tid %v", ev["tid"])
+			}
+		default:
+			t.Fatalf("event %d cat = %v", i, ev["cat"])
+		}
+	}
+	if events[0]["name"] != "query" || events[0]["ts"].(float64) != 0 {
+		t.Fatalf("root event wrong: %v", events[0])
+	}
+	// Task args carry the counters.
+	last := events[len(events)-1]
+	args, ok := last["args"].(map[string]any)
+	if !ok || args["records.in"].(float64) != 5 {
+		t.Fatalf("task args missing counters: %v", last)
+	}
+}
+
+func TestWriteChromeTraceNilRoot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("nil root export = %q, want []", got)
+	}
+}

@@ -7,7 +7,6 @@ package types
 
 import (
 	"fmt"
-	"hash/maphash"
 	"math"
 	"strconv"
 	"strings"
@@ -366,26 +365,66 @@ func cmpFloat(a, b float64) int {
 	return 0
 }
 
-var hashSeed = maphash.MakeSeed()
+// hash64 is an FNV-1a accumulator. The fixed basis and prime make hash
+// partitioning identical across processes — maphash's per-process seed
+// would reroute shuffles on every run, which breaks cross-run trace
+// comparisons and the byte-identical re-execution the determinism
+// suite promises.
+type hash64 uint64
 
-// Hash returns a hash of the value suitable for hash partitioning and
-// hash joins. Equal values hash equally.
-func (v Value) Hash() uint64 {
-	var h maphash.Hash
-	h.SetSeed(hashSeed)
-	v.hashInto(&h)
-	return h.Sum64()
+const (
+	fnvBasis uint64 = 14695981039346656037
+	fnvPrime uint64 = 1099511628211
+)
+
+func (h *hash64) writeByte(b byte) {
+	*h = hash64((uint64(*h) ^ uint64(b)) * fnvPrime)
 }
 
-func (v Value) hashInto(h *maphash.Hash) {
-	h.WriteByte(byte(v.kind))
+func (h *hash64) write(p []byte) {
+	for _, b := range p {
+		h.writeByte(b)
+	}
+}
+
+func (h *hash64) writeString(s string) {
+	for i := 0; i < len(s); i++ {
+		h.writeByte(s[i])
+	}
+}
+
+// finish avalanches the raw FNV state (splitmix64 finalizer). FNV-1a
+// diffuses poorly into its low bits, and partition routing reduces the
+// hash mod a small partition count — without mixing, consecutive
+// integer keys route in a short periodic pattern that can keep every
+// record on its home node.
+func (h hash64) finish() uint64 {
+	x := uint64(h)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Hash returns a hash of the value suitable for hash partitioning and
+// hash joins. Equal values hash equally, across processes.
+func (v Value) Hash() uint64 {
+	h := hash64(fnvBasis)
+	v.hashInto(&h)
+	return h.finish()
+}
+
+func (v Value) hashInto(h *hash64) {
+	h.writeByte(byte(v.kind))
 	switch v.kind {
 	case KindBool, KindInt64:
 		writeInt(h, v.i)
 	case KindFloat64:
 		writeInt(h, int64(math.Float64bits(v.f)))
 	case KindString:
-		h.WriteString(v.s)
+		h.writeString(v.s)
 	case KindUUID, KindInterval:
 		writeInt(h, v.i)
 		writeInt(h, v.j)
@@ -413,12 +452,20 @@ func (v Value) hashInto(h *maphash.Hash) {
 	}
 }
 
-func writeInt(h *maphash.Hash, v int64) {
+func writeInt(h *hash64, v int64) {
 	var b [8]byte
 	for i := 0; i < 8; i++ {
 		b[i] = byte(v >> (8 * i))
 	}
-	h.Write(b[:])
+	h.write(b[:])
+}
+
+// HashString hashes an arbitrary string with the same fixed-basis FNV
+// as Value.Hash, for callers that partition by serialized keys.
+func HashString(s string) uint64 {
+	h := hash64(fnvBasis)
+	h.writeString(s)
+	return h.finish()
 }
 
 // MarshalWire encodes the value with a leading kind byte.
