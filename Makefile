@@ -9,7 +9,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 FUDJVET = bin/fudjvet
 
-.PHONY: all vet fudjvet build test race chaos fuzz staticcheck govulncheck lint-fix-check ci
+.PHONY: all vet fudjvet build test race chaos chaos-recovery fuzz staticcheck govulncheck lint-fix-check ci
 
 all: build
 
@@ -39,6 +39,16 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Retry|Straggler|Corrupt|Deadline|Cancel|UDFPanic|StandalonePanic|Bounded|Memory|Spill|ResourceError|BucketSplit|Backpressure' \
 		./internal/cluster/ ./internal/core/ ./internal/engine/ ./internal/storage/ \
+		./internal/joins/spatialjoin/ ./internal/joins/textsim/ ./internal/joins/intervaljoin/
+
+# chaos-recovery runs the checkpointed-execution matrix under the race
+# detector: kill-at-barrier over both barriers and every example join,
+# torn-write and checkpoint-corruption healing, checkpoint reopen
+# crash-consistency, and the temp-file sweep — every run asserting
+# multiset-identical results against a fault-free baseline.
+chaos-recovery:
+	$(GO) test -race -run 'CheckpointRecovery|KillAtBarrier|TornWrite|CheckpointCorrupt|Recovery|BarrierMatrix|Checkpoint' \
+		./internal/cluster/ ./internal/storage/ ./internal/engine/ \
 		./internal/joins/spatialjoin/ ./internal/joins/textsim/ ./internal/joins/intervaljoin/
 
 # fuzz smoke-runs every native fuzz target briefly. The committed
@@ -77,4 +87,4 @@ lint-fix-check: fudjvet
 	fi
 	$(GO) vet -vettool=$(abspath $(FUDJVET)) ./...
 
-ci: vet build race chaos staticcheck govulncheck
+ci: vet build race chaos chaos-recovery staticcheck govulncheck

@@ -83,6 +83,25 @@ type FaultConfig = cluster.FaultConfig
 // override the default with WithRetryPolicy.
 type RetryPolicy = cluster.RetryPolicy
 
+// Barrier names a durable phase boundary in the FUDJ pipeline:
+// BarrierPlan (after SUMMARIZE broadcasts the plan) or BarrierShuffle
+// (after PARTITION delivers every record). Target one with
+// FaultConfig.BarrierKills.
+type Barrier = cluster.Barrier
+
+// Durable phase barriers.
+const (
+	BarrierPlan    = cluster.BarrierPlan
+	BarrierShuffle = cluster.BarrierShuffle
+)
+
+// BarrierKill targets a kill-at-barrier fault at one node.
+type BarrierKill = cluster.BarrierKill
+
+// BarrierLossError reports node losses at a phase barrier when no
+// checkpoint store is attached; it is retryable (abort-and-rerun).
+type BarrierLossError = cluster.BarrierLossError
+
 // FaultError is an injected infrastructure failure (retryable).
 type FaultError = cluster.FaultError
 
@@ -120,6 +139,12 @@ func WithSmartTheta(on bool) Option { return engine.WithSmartTheta(on) }
 // WithMemoryBudget caps per-query memory; queries spill past it.
 // Zero means unbounded.
 func WithMemoryBudget(bytes int64) Option { return engine.WithMemoryBudget(bytes) }
+
+// WithCheckpoints enables durable phase barriers: the broadcast plan
+// and every partition's post-shuffle input are checkpointed, so a
+// node killed at a barrier recovers in place instead of forcing the
+// whole join step to re-run.
+func WithCheckpoints() Option { return engine.WithCheckpoints() }
 
 // WithFaults arms deterministic fault injection; nil disables it.
 func WithFaults(cfg *FaultConfig) Option { return engine.WithFaults(cfg) }

@@ -13,6 +13,7 @@ import (
 	"fudj/internal/analysis/maporder"
 	"fudj/internal/analysis/metricslock"
 	"fudj/internal/analysis/seedrand"
+	"fudj/internal/analysis/spillclose"
 	"fudj/internal/analysis/udfcatch"
 )
 
@@ -25,5 +26,6 @@ func All() []*framework.Analyzer {
 		boundedalloc.Analyzer,
 		ctxplumb.Analyzer,
 		metricslock.Analyzer,
+		spillclose.Analyzer,
 	}
 }

@@ -1,0 +1,192 @@
+// Package spillclose enforces temp-file hygiene on the disk writers:
+// every spill run writer (NewRunWriter) and checkpoint writer
+// (NewCheckpointWriter) must be cleaned up — a Close, Remove, or Abort
+// call on the assigned variable somewhere in the enclosing function
+// (deferred cleanup and cleanup inside closures both count) — or must
+// escape the function (returned, passed to a call, or stored into a
+// struct, map, or slice that some teardown path sweeps). Discarding
+// the writer with the blank identifier is always a leak: nothing can
+// ever remove its temp file.
+//
+// Invariant: a query leaves no orphaned temp file behind, even on
+// error paths. The sweep-on-teardown tests catch leaks that actually
+// fire; this analyzer catches the ones that need a rare error path to
+// fire at all. The check is syntactic (usage, not path domination):
+// a writer whose cleanup is reachable on some path but not all paths
+// must be restructured so the cleanup dominates — the engine registers
+// writers in a deferred-removal map *before* the first write for
+// exactly this reason.
+package spillclose
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fudj/internal/analysis/framework"
+)
+
+// creators are the writer-constructing functions, matched by name so
+// both the package function (storage.NewRunWriter) and the store
+// method (store.NewCheckpointWriter) are covered, and fixtures can
+// model them.
+var creators = map[string]string{
+	"NewRunWriter":        "spill run writer",
+	"NewCheckpointWriter": "checkpoint writer",
+}
+
+// cleanups are the methods whose call on the writer discharges the
+// obligation.
+var cleanups = map[string]bool{"Close": true, "Remove": true, "Abort": true}
+
+// Analyzer is the spillclose rule.
+var Analyzer = &framework.Analyzer{
+	Name: "spillclose",
+	Doc: "spill run writers and checkpoint writers must be closed, removed, or aborted " +
+		"on every path (or escape to an owner that is); a leaked writer orphans its temp file",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.NonTestFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc finds writer creations anywhere in fd (closures included)
+// and verifies each created variable is cleaned up or escapes within
+// fd's body — closures share the enclosing scope, so the whole body is
+// the right region to scan.
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			kind := creatorKind(call)
+			if kind == "" {
+				continue
+			}
+			// w, err := New...Writer(...) or w := ... — the writer is the
+			// matching LHS (first for a multi-value call).
+			var lhs ast.Expr
+			if len(as.Rhs) == 1 {
+				lhs = as.Lhs[0]
+			} else if i < len(as.Lhs) {
+				lhs = as.Lhs[i]
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue // stored straight into a field or index: escaped
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"%s discarded with _; its temp file can never be closed or removed", kind)
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if !dischargedIn(pass, fd.Body, obj, id) {
+				pass.Reportf(id.Pos(),
+					"%s %s is never closed, removed, or aborted and does not escape; "+
+						"its temp file leaks on every path", kind, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// creatorKind reports which writer kind call constructs, or "".
+func creatorKind(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return creators[fun.Name]
+	case *ast.SelectorExpr:
+		return creators[fun.Sel.Name]
+	}
+	return ""
+}
+
+// dischargedIn reports whether obj's cleanup obligation is discharged
+// anywhere in body: a Close/Remove/Abort call on it, or an escape (a
+// return, a call argument, a store into a composite/field/index, or a
+// reassignment to another variable), counting uses other than the
+// declaring identifier itself.
+func dischargedIn(pass *framework.Pass, body *ast.BlockStmt, obj types.Object, decl *ast.Ident) bool {
+	done := false
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// w.Close() / w.Remove() / w.Abort().
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && cleanups[sel.Sel.Name] {
+				if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					done = true
+					return false
+				}
+			}
+			// w passed as an argument: ownership transferred.
+			for _, arg := range n.Args {
+				if refersTo(pass, arg, obj) {
+					done = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if refersTo(pass, res, obj) {
+					done = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if refersTo(pass, elt, obj) {
+					done = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// w on the RHS of some other assignment (stored into a map,
+			// field, slice element, or another variable the teardown owns).
+			for _, rhs := range n.Rhs {
+				if id, ok := rhs.(*ast.Ident); ok && id != decl && pass.TypesInfo.ObjectOf(id) == obj {
+					done = true
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return done
+}
+
+// refersTo reports whether expr is (or unwraps to) a reference to obj.
+func refersTo(pass *framework.Pass, expr ast.Expr, obj types.Object) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(e) == obj
+	case *ast.UnaryExpr:
+		return refersTo(pass, e.X, obj)
+	case *ast.KeyValueExpr:
+		return refersTo(pass, e.Value, obj)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package spillclose_test
+
+import (
+	"testing"
+
+	"fudj/internal/analysis/framework"
+	"fudj/internal/analysis/spillclose"
+)
+
+func TestSpillClose(t *testing.T) {
+	framework.RunTest(t, "testdata", spillclose.Analyzer, "a")
+}

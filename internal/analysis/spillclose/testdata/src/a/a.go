@@ -1,0 +1,124 @@
+// Fixture for the spillclose analyzer: spill run writers and
+// checkpoint writers must be cleaned up or escape.
+package a
+
+// RunWriter models storage.RunWriter.
+type RunWriter struct{}
+
+func (w *RunWriter) Append(recs ...int) error { return nil }
+func (w *RunWriter) Close() error             { return nil }
+func (w *RunWriter) Remove()                  {}
+
+// CheckpointWriter models storage.CheckpointWriter.
+type CheckpointWriter struct{}
+
+func (w *CheckpointWriter) Append(recs ...int) error { return nil }
+func (w *CheckpointWriter) Close() error             { return nil }
+func (w *CheckpointWriter) Abort()                   {}
+
+func NewRunWriter(dir string) (*RunWriter, error) { return &RunWriter{}, nil }
+
+// Store models storage.CheckpointStore.
+type Store struct{}
+
+func (s *Store) NewCheckpointWriter(key string) (*CheckpointWriter, error) {
+	return &CheckpointWriter{}, nil
+}
+
+func closed(dir string) error {
+	w, err := NewRunWriter(dir)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return w.Append(1)
+}
+
+func removedOnError(dir string) (*RunWriter, error) {
+	w, err := NewRunWriter(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Append(1); err != nil {
+		w.Remove()
+		return nil, err
+	}
+	return w, nil // escapes to the caller
+}
+
+func aborted(s *Store) error {
+	w, err := s.NewCheckpointWriter("k")
+	if err != nil {
+		return err
+	}
+	if err := w.Append(1); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
+}
+
+func leaked(dir string) error {
+	w, err := NewRunWriter(dir) // want `spill run writer w is never closed`
+	if err != nil {
+		return err
+	}
+	return w.Append(1)
+}
+
+func leakedCheckpoint(s *Store) error {
+	w, err := s.NewCheckpointWriter("k") // want `checkpoint writer w is never closed`
+	if err != nil {
+		return err
+	}
+	return w.Append(1)
+}
+
+func discarded(dir string) {
+	_, _ = NewRunWriter(dir) // want `spill run writer discarded with _`
+}
+
+type spillPair struct {
+	left, right *RunWriter
+}
+
+func escapesIntoStruct(dir string) (*spillPair, error) {
+	left, err := NewRunWriter(dir)
+	if err != nil {
+		return nil, err
+	}
+	right, err := NewRunWriter(dir)
+	if err != nil {
+		left.Remove()
+		return nil, err
+	}
+	return &spillPair{left: left, right: right}, nil
+}
+
+func escapesIntoMap(dir string, m map[int]*RunWriter) error {
+	w, err := NewRunWriter(dir)
+	if err != nil {
+		return err
+	}
+	m[0] = w // the map's owner sweeps it
+	return w.Append(1)
+}
+
+func sink(w *RunWriter) {}
+
+func escapesAsArgument(dir string) error {
+	w, err := NewRunWriter(dir)
+	if err != nil {
+		return err
+	}
+	sink(w)
+	return nil
+}
+
+func closedInClosure(dir string) (func(), error) {
+	w, err := NewRunWriter(dir)
+	if err != nil {
+		return nil, err
+	}
+	return func() { w.Remove() }, nil
+}

@@ -147,6 +147,10 @@ func (c *Cluster) SetRetryPolicy(p RetryPolicy) {
 	c.retry = p
 }
 
+// RetryPolicy returns the cluster's task retry policy, so recovery
+// wrappers outside the package share its attempt budget.
+func (c *Cluster) RetryPolicy() RetryPolicy { return c.retry }
+
 // SetContext attaches a query context: cancellation or deadline expiry
 // aborts in-flight partition tasks at their next checkpoint (injected
 // delays and backoff sleeps abort immediately).

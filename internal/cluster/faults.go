@@ -12,6 +12,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -40,7 +42,38 @@ type FaultConfig struct {
 	// CorruptProb is the per-cross-node-batch probability that a
 	// shuffle payload arrives corrupted and must be resent.
 	CorruptProb float64
+	// BarrierKills lists nodes that die the first time execution
+	// crosses the named phase barrier — the targeted "kill-at-barrier"
+	// fault. Each entry fires once per query.
+	BarrierKills []BarrierKill
+	// BarrierKillProb is the per-node probability of dying at each
+	// barrier crossing (the probabilistic counterpart of BarrierKills).
+	BarrierKillProb float64
+	// TornWriteProb is the per-checkpoint probability that the write is
+	// torn: the published file loses its tail, terminator included, as
+	// a crash mid-write would leave it.
+	TornWriteProb float64
+	// CheckpointCorruptProb is the per-checkpoint probability of silent
+	// media damage: one bit of the published file is flipped.
+	CheckpointCorruptProb float64
 }
+
+// BarrierKill names one targeted node death: Node dies the first time
+// execution crosses Barrier.
+type BarrierKill struct {
+	Barrier Barrier
+	Node    int
+}
+
+// checkpointDamage classifies the injected damage to one published
+// checkpoint file.
+type checkpointDamage int
+
+const (
+	damageNone checkpointDamage = iota
+	damageTorn
+	damageCorrupt
+)
 
 // FaultInjector makes deterministic fault decisions for one query
 // execution and counts what it injected. Create a fresh injector per
@@ -50,9 +83,19 @@ type FaultInjector struct {
 	nodeDown  map[int]bool
 	straggler map[int]bool
 
-	crashes     atomic.Int64
-	delays      atomic.Int64
-	corruptions atomic.Int64
+	// barrierFired tracks which targeted BarrierKills entries have
+	// fired (each fires once per query). Guarded by mu; barrier
+	// crossings happen on the coordinator, but the lock keeps the
+	// injector race-free under -race regardless of caller discipline.
+	mu           sync.Mutex
+	barrierFired map[BarrierKill]bool
+
+	crashes      atomic.Int64
+	delays       atomic.Int64
+	corruptions  atomic.Int64
+	barrierKills atomic.Int64
+	tornWrites   atomic.Int64
+	ckptCorrupts atomic.Int64
 }
 
 // NewFaultInjector builds an injector, applying defaults (25ms
@@ -62,9 +105,10 @@ func NewFaultInjector(cfg FaultConfig) *FaultInjector {
 		cfg.StragglerDelay = 25 * time.Millisecond
 	}
 	fi := &FaultInjector{
-		cfg:       cfg,
-		nodeDown:  make(map[int]bool, len(cfg.FailedNodes)),
-		straggler: make(map[int]bool, len(cfg.StragglerNodes)),
+		cfg:          cfg,
+		nodeDown:     make(map[int]bool, len(cfg.FailedNodes)),
+		straggler:    make(map[int]bool, len(cfg.StragglerNodes)),
+		barrierFired: make(map[BarrierKill]bool, len(cfg.BarrierKills)),
 	}
 	for _, n := range cfg.FailedNodes {
 		fi.nodeDown[n] = true
@@ -87,11 +131,25 @@ func (fi *FaultInjector) Delays() int64 { return fi.delays.Load() }
 // Corruptions returns how many shuffle payloads were corrupted.
 func (fi *FaultInjector) Corruptions() int64 { return fi.corruptions.Load() }
 
+// BarrierKills returns how many node deaths were injected at phase
+// barriers.
+func (fi *FaultInjector) BarrierKills() int64 { return fi.barrierKills.Load() }
+
+// TornWrites returns how many checkpoint writes were torn.
+func (fi *FaultInjector) TornWrites() int64 { return fi.tornWrites.Load() }
+
+// CheckpointCorruptions returns how many published checkpoints had a
+// bit flipped.
+func (fi *FaultInjector) CheckpointCorruptions() int64 { return fi.ckptCorrupts.Load() }
+
 // Decision channels, kept distinct so a crash roll never correlates
 // with a corruption roll at the same coordinates.
 const (
 	rollCrash = iota + 1
 	rollCorrupt
+	rollBarrier
+	rollTorn
+	rollCkptCorrupt
 )
 
 // mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
@@ -153,6 +211,93 @@ func (fi *FaultInjector) corrupt(epoch, src, dst, attempt int64) bool {
 	return false
 }
 
+// hasBarrierFaults reports whether any kill-at-barrier fault is
+// armed, so barrier crossings can skip all bookkeeping otherwise.
+func (fi *FaultInjector) hasBarrierFaults() bool {
+	return fi != nil && (fi.cfg.BarrierKillProb > 0 || len(fi.cfg.BarrierKills) > 0)
+}
+
+// killAtBarrier decides which of the cluster's nodes die as execution
+// crosses barrier b in fault epoch epoch. Targeted BarrierKills fire
+// once per query; probabilistic kills roll per (epoch, barrier, node).
+// The returned node list is sorted and duplicate-free.
+func (fi *FaultInjector) killAtBarrier(epoch int64, b Barrier, nodes int) []int {
+	if !fi.hasBarrierFaults() {
+		return nil
+	}
+	dead := make(map[int]bool)
+	fi.mu.Lock()
+	for _, k := range fi.cfg.BarrierKills {
+		if k.Barrier == b && k.Node >= 0 && k.Node < nodes && !fi.barrierFired[k] {
+			fi.barrierFired[k] = true
+			dead[k.Node] = true
+		}
+	}
+	fi.mu.Unlock()
+	if fi.cfg.BarrierKillProb > 0 {
+		for n := 0; n < nodes; n++ {
+			if dead[n] {
+				continue
+			}
+			if fi.roll(rollBarrier, epoch, int64(b), int64(n)) < fi.cfg.BarrierKillProb {
+				dead[n] = true
+			}
+		}
+	}
+	if len(dead) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(dead))
+	for n := range dead {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	fi.barrierKills.Add(int64(len(out)))
+	return out
+}
+
+// stringCoord folds a checkpoint key into a deterministic roll
+// coordinate, so damage decisions depend on the stable key rather
+// than the randomized temp path.
+func stringCoord(s string) int64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(mix64(h))
+}
+
+// checkpointDamage decides whether the published checkpoint under key
+// suffers a torn write or a bit flip. Torn wins when both roll: a
+// crash mid-write preempts later media damage.
+func (fi *FaultInjector) checkpointDamage(key string) checkpointDamage {
+	if fi == nil {
+		return damageNone
+	}
+	coord := stringCoord(key)
+	if fi.cfg.TornWriteProb > 0 && fi.roll(rollTorn, coord) < fi.cfg.TornWriteProb {
+		fi.tornWrites.Add(1)
+		return damageTorn
+	}
+	if fi.cfg.CheckpointCorruptProb > 0 && fi.roll(rollCkptCorrupt, coord) < fi.cfg.CheckpointCorruptProb {
+		fi.ckptCorrupts.Add(1)
+		return damageCorrupt
+	}
+	return damageNone
+}
+
+// damageOffset picks the deterministic bit-flip position for a corrupt
+// checkpoint of the given size, always past the header region so the
+// flip lands in framing or payload bytes.
+func (fi *FaultInjector) damageOffset(key string, size, header int64) int64 {
+	if size <= header {
+		return size - 1
+	}
+	h := mix64(uint64(fi.cfg.Seed) ^ uint64(stringCoord(key)) ^ uint64(size))
+	return header + int64(h%uint64(size-header))
+}
+
 // corruptPayload damages an encoded shuffle buffer the way a botched
 // transfer would: the tail is lost. DecodeRecords is guaranteed to
 // reject the result because the batch header still claims the full
@@ -166,8 +311,11 @@ type FaultKind int
 
 // The injected fault kinds.
 const (
-	FaultCrash    FaultKind = iota // probabilistic task crash
-	FaultNodeDown                  // deterministic per-node failure
+	FaultCrash             FaultKind = iota // probabilistic task crash
+	FaultNodeDown                           // deterministic per-node failure
+	FaultBarrierKill                        // node death at a phase barrier
+	FaultTornWrite                          // checkpoint write torn by a crash
+	FaultCheckpointCorrupt                  // checkpoint bit flip on media
 )
 
 // String implements fmt.Stringer.
@@ -177,6 +325,12 @@ func (k FaultKind) String() string {
 		return "task crash"
 	case FaultNodeDown:
 		return "node failure"
+	case FaultBarrierKill:
+		return "kill-at-barrier"
+	case FaultTornWrite:
+		return "torn-write"
+	case FaultCheckpointCorrupt:
+		return "checkpoint-corrupt"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
 }

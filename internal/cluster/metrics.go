@@ -38,6 +38,15 @@ const (
 	MetricBucketsSplit   = "buckets.split"
 	MetricBackpressure   = "backpressure"
 	MetricTaskBusy       = "task.busy"
+
+	// Checkpoint/recovery counters (PR 5). CheckpointRecovered counts
+	// partitions restored from a durable checkpoint instead of
+	// recomputed; CheckpointDiscarded counts checkpoints that failed
+	// their integrity check on reopen and were healed by recompute.
+	MetricCheckpointBytes     = "checkpoint.bytes"
+	MetricCheckpointRecovered = "checkpoint.partitions.recovered"
+	MetricCheckpointDiscarded = "checkpoint.discarded"
+	MetricBarrierKills        = "barrier.kills"
 )
 
 // Metrics is the cluster's metric registry: named counters, gauges,
@@ -71,6 +80,8 @@ func newMetrics(parts int) *Metrics {
 		MetricTasks, MetricRetries, MetricRecovered, MetricSpeculative,
 		MetricCorruptHealed, MetricSpillBytes, MetricSpillRuns,
 		MetricBucketsSplit, MetricBackpressure,
+		MetricCheckpointBytes, MetricCheckpointRecovered,
+		MetricCheckpointDiscarded, MetricBarrierKills,
 	} {
 		m.slot(name, KindCounter)
 	}
@@ -238,6 +249,11 @@ type Snapshot struct {
 	SpillRuns    int64
 	BucketsSplit int64
 	Backpressure int64
+
+	CheckpointBytes     int64
+	CheckpointRecovered int64
+	CheckpointDiscarded int64
+	BarrierKills        int64
 }
 
 // Snapshot reads the core counters atomically with respect to writers:
@@ -281,6 +297,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		SpillRuns:       val(MetricSpillRuns),
 		BucketsSplit:    val(MetricBucketsSplit),
 		Backpressure:    val(MetricBackpressure),
+
+		CheckpointBytes:     val(MetricCheckpointBytes),
+		CheckpointRecovered: val(MetricCheckpointRecovered),
+		CheckpointDiscarded: val(MetricCheckpointDiscarded),
+		BarrierKills:        val(MetricBarrierKills),
 	}
 }
 
@@ -410,12 +431,33 @@ func (m *Metrics) addShuffle(bytes, recs int64) {
 	m.mu.Unlock()
 }
 
+// CheckpointBytes returns the bytes written to durable checkpoints at
+// phase barriers.
+func (m *Metrics) CheckpointBytes() int64 { return m.counterValue(MetricCheckpointBytes) }
+
+// CheckpointRecovered returns how many lost partitions were restored
+// from a checkpoint instead of recomputed.
+func (m *Metrics) CheckpointRecovered() int64 { return m.counterValue(MetricCheckpointRecovered) }
+
+// CheckpointsDiscarded returns how many checkpoints failed their
+// integrity check on reopen and were healed by recompute.
+func (m *Metrics) CheckpointsDiscarded() int64 { return m.counterValue(MetricCheckpointDiscarded) }
+
+// BarrierKillCount returns how many nodes were killed at phase
+// barriers by fault injection.
+func (m *Metrics) BarrierKillCount() int64 { return m.counterValue(MetricBarrierKills) }
+
 func (m *Metrics) addBroadcast(bytes int64) { m.addTo(MetricBroadcastBytes, bytes) }
 func (m *Metrics) addRetry()                { m.addTo(MetricRetries, 1) }
 func (m *Metrics) addRecovered()            { m.addTo(MetricRecovered, 1) }
 func (m *Metrics) addSpeculative()          { m.addTo(MetricSpeculative, 1) }
 func (m *Metrics) addCorruptHealed()        { m.addTo(MetricCorruptHealed, 1) }
 func (m *Metrics) addBackpressure()         { m.addTo(MetricBackpressure, 1) }
+
+func (m *Metrics) addCheckpointBytes(n int64) { m.addTo(MetricCheckpointBytes, n) }
+func (m *Metrics) addCheckpointRecovered()    { m.addTo(MetricCheckpointRecovered, 1) }
+func (m *Metrics) addCheckpointDiscarded()    { m.addTo(MetricCheckpointDiscarded, 1) }
+func (m *Metrics) addBarrierKills(n int64)    { m.addTo(MetricBarrierKills, n) }
 
 // ReserveMemory charges bytes against the budget-tracked gauge and
 // records the new high-water mark. The engine calls this for COMBINE

@@ -102,6 +102,11 @@ func RunStandaloneTraced(j Join, left, right []any, params []any, emit func(l, r
 	if err != nil {
 		return stats, fmt.Errorf("divide: %w", err)
 	}
+	// Barrier marker: the point at which the distributed engine makes
+	// the broadcast plan durable. Standalone execution has nothing to
+	// checkpoint, but emitting the marker keeps the span vocabulary
+	// identical across both executors.
+	parent.Child("barrier plan").End()
 
 	// PARTITION: bucket both sides.
 	phase = "assign"
@@ -130,6 +135,8 @@ func RunStandaloneTraced(j Join, left, right []any, params []any, emit func(l, r
 	partSpan.Add("buckets.left", int64(len(lb)))
 	partSpan.Add("buckets.right", int64(len(rb)))
 	partSpan.End()
+	// Barrier marker: post-shuffle durability point (see above).
+	parent.Child("barrier shuffle").End()
 
 	// COMBINE: match buckets, verify pairs, handle duplicates.
 	phase = "combine"

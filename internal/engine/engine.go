@@ -50,6 +50,7 @@ type Database struct {
 	faultCfg   *cluster.FaultConfig
 	retryPol   *cluster.RetryPolicy
 	memBudget  int64
+	ckpt       bool
 	clock      trace.Clock
 	tracing    bool
 }
@@ -94,6 +95,13 @@ func (db *Database) Catalog() *catalog.Catalog { return db.catalog }
 // SetJoinMode switches between FUDJ and built-in execution of FUDJ
 // predicates.
 func (db *Database) SetJoinMode(m JoinMode) { db.mode = m }
+
+// SetCheckpoints enables durable phase barriers for subsequent
+// queries: the broadcast plan and every partition's post-shuffle input
+// are checkpointed, so a node lost at a barrier recovers in place
+// (reload, or recompute on a damaged file) instead of aborting and
+// re-running the whole join step.
+func (db *Database) SetCheckpoints(on bool) { db.ckpt = on }
 
 // SetSmartTheta enables the balanced theta bucket-matching operator
 // for multi-join FUDJs, replacing the paper's broadcast + random
@@ -207,6 +215,15 @@ type FaultStats struct {
 	Recovered         int64
 	Speculative       int64
 	CorruptionsHealed int64
+
+	// Checkpointed execution: barrier-kill injections fired, bytes
+	// written to checkpoint files, partitions restored from a durable
+	// checkpoint instead of recomputation, and damaged (torn or
+	// corrupt) checkpoints detected and discarded.
+	BarrierKills         int64
+	CheckpointBytes      int64
+	PartitionsRecovered  int64
+	CheckpointsDiscarded int64
 }
 
 // MemoryStats carries the memory-bounding counters for one execution

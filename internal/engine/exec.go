@@ -8,6 +8,7 @@ import (
 	"fudj/internal/cluster"
 	"fudj/internal/core"
 	"fudj/internal/expr"
+	"fudj/internal/storage"
 	"fudj/internal/trace"
 	"fudj/internal/types"
 )
@@ -50,6 +51,24 @@ func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts) (*Result
 			return nil, err
 		}
 		defer cleanup()
+	}
+
+	// Checkpointed execution: with WithCheckpoints, a per-query
+	// checkpoint store makes the FUDJ phase barriers durable; the store
+	// is swept at teardown so no checkpoint file outlives its query.
+	// Without checkpoints, a recovery manager is still attached when
+	// kill-at-barrier faults are armed, so barrier losses surface as
+	// retryable step aborts (the abort-and-rerun baseline).
+	var rm *cluster.RecoveryManager
+	if db.ckpt {
+		store, err := storage.NewCheckpointStore()
+		if err != nil {
+			return nil, err
+		}
+		rm = clus.NewRecoveryManager(store)
+		defer rm.Sweep()
+	} else if db.faultCfg != nil && (db.faultCfg.BarrierKillProb > 0 || len(db.faultCfg.BarrierKills) > 0) {
+		rm = clus.NewRecoveryManager(nil)
 	}
 
 	// Scans with pushed-down filters.
@@ -96,7 +115,7 @@ func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts) (*Result
 		var err error
 		switch step.kind {
 		case joinFUDJ:
-			cur, err = db.runFUDJ(ctx, clus, counters, mem, jsp, step.fudj, cur, curSchema, right, rightSchema, outSchema)
+			cur, err = db.runFUDJRecoverable(ctx, clus, counters, mem, rm, i, jsp, step.fudj, cur, curSchema, right, rightSchema, outSchema)
 		case joinBuiltin:
 			cur, err = db.runBuiltinJoin(clus, counters, step.fudj, cur, curSchema, right, rightSchema)
 		case joinHash:
@@ -204,10 +223,14 @@ func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts) (*Result
 			TotalBusy:       m.TotalBusy,
 		},
 		Faults: FaultStats{
-			Retries:           m.Retries,
-			Recovered:         m.Recovered,
-			Speculative:       m.Speculative,
-			CorruptionsHealed: m.CorruptHealed,
+			Retries:              m.Retries,
+			Recovered:            m.Recovered,
+			Speculative:          m.Speculative,
+			CorruptionsHealed:    m.CorruptHealed,
+			BarrierKills:         m.BarrierKills,
+			CheckpointBytes:      m.CheckpointBytes,
+			PartitionsRecovered:  m.CheckpointRecovered,
+			CheckpointsDiscarded: m.CheckpointDiscarded,
 		},
 		Memory: MemoryStats{
 			Peak:         m.PeakMemory,

@@ -26,7 +26,11 @@ import (
 // columns, [bucket_id, key, fields...], so verify never recomputes key
 // expressions per candidate pair. Under DedupElimination a third
 // leading column carries a globally unique row id.
-func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters *statsCounters, mem *memState, jsp *trace.Span, f *fudjStep,
+// When rec is non-nil, the step runs with durable phase barriers: the
+// broadcast plan and every partition's post-shuffle input are
+// checkpointed, and node deaths injected at a barrier recover from
+// those checkpoints (see recover.go) instead of aborting the step.
+func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters *statsCounters, mem *memState, rcv *stepRecovery, jsp *trace.Span, f *fudjStep,
 	left cluster.Data, leftSchema *types.Schema,
 	right cluster.Data, rightSchema *types.Schema, outSchema *types.Schema) (cluster.Data, error) {
 
@@ -72,6 +76,9 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		})
 		if err != nil {
 			return nil, err
+		}
+		for part := range data {
+			rcv.markDone("summarize", part)
 		}
 		// Ship the encoded local summaries to the coordinator, then
 		// merge them with the global aggregate (guarded: the merge runs
@@ -127,6 +134,12 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 	}
 	counters.stateBytes.Add(int64(len(planBuf)))
 	clus.Broadcast(planBuf)
+	// Plan barrier: the broadcast plan becomes durable, and a node
+	// killed here re-reads it instead of forcing SUMMARIZE to re-run.
+	planBuf, err = planBarrier(clus, rcv, planBuf)
+	if err != nil {
+		return nil, err
+	}
 	// Every node decodes its own copy, as it would on a real cluster.
 	plan, err = func() (plan core.PPlan, err error) {
 		defer core.CatchPanic(f.def.Name, "divide", -1, nil, &err)
@@ -199,6 +212,7 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 					out = append(out, append(ext, r...))
 				}
 			}
+			rcv.markDone("partition", part)
 			return out, nil
 		})
 	}
@@ -300,7 +314,27 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		if err != nil {
 			return nil, err
 		}
+		// Shuffle barrier: every partition's bucket inputs are durable.
+		// A node killed here reloads its partitions' inputs (or rebuilds
+		// them from the surviving pre-shuffle data) and re-runs only
+		// those partitions' COMBINE.
+		err = shuffleBarrier(rcv,
+			shuffleSide{name: "left", data: lShuf, recompute: func(part int) []types.Record {
+				return recomputeHashShuffle(lAssigned, bucketHash, part)
+			}},
+			shuffleSide{name: "right", data: rShuf, recompute: func(part int) []types.Record {
+				return recomputeHashShuffle(rAssigned, bucketHash, part)
+			}})
+		if err != nil {
+			return nil, err
+		}
 		combined, err = clus.Run(lShuf, func(part int, in []types.Record) (out []types.Record, err error) {
+			// Registered before CatchPanic so it observes the final err.
+			defer func() {
+				if err == nil {
+					rcv.markDone("combine", part)
+				}
+			}()
 			defer core.CatchPanic(f.def.Name, "combine", part, nil, &err)
 			if mem != nil {
 				// Memory-bounded hash build: resident buckets join
@@ -326,6 +360,12 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		// counts, enumerates the bucket pairs MATCH accepts, assigns
 		// each pair to a partition by greedy cost balancing, and records
 		// travel only to partitions owning pairs that need them.
+		//
+		// No durable barrier here: the operator's multicast routing
+		// carries mutable round-robin state, so a lost partition's
+		// input cannot be recomputed independently of the others; a
+		// barrier loss in this mode would fall back to abort-and-rerun
+		// anyway, which the per-task retry already provides.
 		combined, err = db.runSmartTheta(clus, mem, join, combineBuckets, lAssigned, rAssigned)
 		if err != nil {
 			return nil, err
@@ -343,7 +383,26 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		if err != nil {
 			return nil, err
 		}
+		// Shuffle barrier for the theta layout: the replicated build
+		// side and the randomly partitioned probe side are both durable
+		// per partition.
+		err = shuffleBarrier(rcv,
+			shuffleSide{name: "left", data: lRepl, recompute: func(int) []types.Record {
+				return recomputeReplicate(lAssigned)
+			}},
+			shuffleSide{name: "right", data: rRand, recompute: func(part int) []types.Record {
+				return recomputeRandomShuffle(rAssigned, part)
+			}})
+		if err != nil {
+			return nil, err
+		}
 		combined, err = clus.Run(rRand, func(part int, in []types.Record) (out []types.Record, err error) {
+			// Registered before CatchPanic so it observes the final err.
+			defer func() {
+				if err == nil {
+					rcv.markDone("combine", part)
+				}
+			}()
 			defer core.CatchPanic(f.def.Name, "combine", part, nil, &err)
 			if mem != nil {
 				// Memory-bounded theta match table: the broadcast (build)

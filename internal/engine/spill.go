@@ -138,10 +138,10 @@ func boundedCombine(mem *memState, joinName string, part int,
 		if err != nil {
 			return err
 		}
+		spilled[b] = bs // register before Append so the deferred Remove covers a write failure
 		if err := bs.left.Append(resident[b]...); err != nil {
 			return err
 		}
-		spilled[b] = bs
 		acct.release(residentBytes[b])
 		delete(resident, b)
 		delete(residentBytes, b)
@@ -182,10 +182,10 @@ func boundedCombine(mem *memState, joinName string, part int,
 			if err != nil {
 				return nil, err
 			}
+			spilled[b] = bs
 			if err := bs.left.Append(r); err != nil {
 				return nil, err
 			}
-			spilled[b] = bs
 			continue
 		}
 		acct.reserve(sz)
