@@ -9,7 +9,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 FUDJVET = bin/fudjvet
 
-.PHONY: all vet fudjvet build test race chaos chaos-recovery fuzz staticcheck govulncheck lint-fix-check ci
+.PHONY: all vet fudjvet build test race chaos chaos-recovery stress fuzz staticcheck govulncheck lint-fix-check ci
 
 all: build
 
@@ -50,6 +50,16 @@ chaos-recovery:
 	$(GO) test -race -run 'CheckpointRecovery|KillAtBarrier|TornWrite|CheckpointCorrupt|Recovery|BarrierMatrix|Checkpoint' \
 		./internal/cluster/ ./internal/storage/ ./internal/engine/ \
 		./internal/joins/spatialjoin/ ./internal/joins/textsim/ ./internal/joins/intervaljoin/
+
+# stress runs the admission-controlled scheduler suite under the race
+# detector: the seeded open-loop storm (hundreds of mixed joins against
+# a small shared memory pool, with a panicking-UDF arm and a fault-
+# injection arm), the scheduler unit invariants, lease accounting,
+# timeout classification, drain semantics, and the concurrent-Execute
+# safety audit.
+stress:
+	$(GO) test -race -run 'Stress|Sched|Admission|Lease|Drain|Timeout|Priority|ConcurrentExecute|SmartThetaConcurrent|SmartThetaBarrierLoss' \
+		./internal/sched/ ./internal/engine/ ./internal/bench/
 
 # fuzz smoke-runs every native fuzz target briefly. The committed
 # corpora under testdata/fuzz/ also run as regression seeds in plain

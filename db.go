@@ -1,9 +1,12 @@
 package fudj
 
 import (
+	"time"
+
 	"fudj/internal/cluster"
 	"fudj/internal/core"
 	"fudj/internal/engine"
+	"fudj/internal/sched"
 	"fudj/internal/trace"
 )
 
@@ -43,6 +46,15 @@ type FaultStats = engine.FaultStats
 
 // MemoryStats reports memory-budget accounting.
 type MemoryStats = engine.MemoryStats
+
+// SchedStats reports one query's admission outcome: time spent in the
+// admission queue, the memory lease it ran under, and its priority.
+type SchedStats = engine.SchedStats
+
+// SchedulerStats snapshots the whole admission controller (running,
+// waiting, totals, lease high-water mark); read it with
+// DB.SchedulerStats.
+type SchedulerStats = sched.Stats
 
 // QueryStats carries operator-level counters for one execution.
 //
@@ -113,6 +125,45 @@ type PartitionError = cluster.PartitionError
 // It is deterministic, so the retry machinery does not re-run it.
 type ResourceError = core.ResourceError
 
+// AdmissionError reports a query shed by the admission controller
+// instead of executed (queue full, memory pool exhausted, or the DB
+// draining). Shedding under load is transient, so the error is
+// retryable except when the DB is draining; check the Reason field.
+type AdmissionError = sched.AdmissionError
+
+// TimeoutError reports a query aborted by WithQueryTimeout; it wraps
+// context.DeadlineExceeded and is not retryable.
+type TimeoutError = engine.TimeoutError
+
+// AdmissionReason classifies why the admission controller shed a query.
+type AdmissionReason = sched.Reason
+
+// Admission shed reasons (AdmissionError.Reason).
+const (
+	ReasonQueueFull     = sched.ReasonQueueFull
+	ReasonPoolExhausted = sched.ReasonPoolExhausted
+	ReasonDraining      = sched.ReasonDraining
+	ReasonCanceled      = sched.ReasonCanceled
+)
+
+// Priority ranks a query for admission under concurrent load.
+type Priority = sched.Priority
+
+// Admission priorities: higher classes get a proportionally larger
+// share of admission slots under contention (weighted round-robin
+// 4:2:1), never exclusive access.
+const (
+	PriorityLow    = sched.PriorityLow
+	PriorityNormal = sched.PriorityNormal
+	PriorityHigh   = sched.PriorityHigh
+)
+
+// IsRetryable reports whether an error is transient: re-running the
+// same query could succeed. Injected faults, barrier losses, and
+// load-shed admissions are retryable; planner errors, timeouts,
+// resource errors, and drain refusals are not.
+func IsRetryable(err error) bool { return cluster.IsRetryable(err) }
+
 // Open creates a database. With no options it simulates a 4-node ×
 // 2-core cluster. Example:
 //
@@ -160,10 +211,40 @@ func WithTracing() Option { return engine.WithTracing() }
 // tests; the default is the wall clock).
 func WithClock(c Clock) Option { return engine.WithClock(c) }
 
+// WithConcurrencyLimit caps simultaneously executing queries; beyond
+// it, arrivals wait in a bounded priority queue and overflow is shed
+// with a retryable *AdmissionError. Zero leaves concurrency unbounded.
+func WithConcurrencyLimit(n int) Option { return engine.WithConcurrencyLimit(n) }
+
+// WithQueueDepth bounds the admission queue (default 64 when any
+// admission limit is configured).
+func WithQueueDepth(n int) Option { return engine.WithQueueDepth(n) }
+
+// WithMemoryPool shares one global memory pool across concurrent
+// queries: each admitted query leases its budget from the pool and the
+// sum of outstanding leases never exceeds it. Combine with
+// WithMemoryBudget to set the per-query request size; under
+// contention a query may receive a smaller lease and spill instead of
+// failing.
+func WithMemoryPool(bytes int64) Option { return engine.WithMemoryPool(bytes) }
+
 // Trace enables span collection for one Execute call:
 //
 //	res, err := db.ExecuteContext(ctx, sql, fudj.Trace())
 func Trace() ExecOption { return engine.Trace() }
+
+// WithQueryTimeout bounds one Execute call: past d the query's context
+// is cancelled (aborting cluster exchanges and barrier waits) and the
+// call returns a *TimeoutError wrapping context.DeadlineExceeded:
+//
+//	res, err := db.Execute(sql, fudj.WithQueryTimeout(2*time.Second))
+func WithQueryTimeout(d time.Duration) ExecOption { return engine.Timeout(d) }
+
+// WithPriority ranks one Execute call for admission under concurrent
+// load (default PriorityNormal):
+//
+//	res, err := db.Execute(sql, fudj.WithPriority(fudj.PriorityHigh))
+func WithPriority(p Priority) ExecOption { return engine.Priority(p) }
 
 // DefaultOptions returns a laptop-scale cluster configuration
 // (4 nodes × 2 cores).

@@ -1,8 +1,11 @@
 package fudj_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"fudj"
 )
@@ -85,4 +88,56 @@ func ExampleDB_Execute() {
 	}
 	// Output:
 	// 1 overlaps 2
+}
+
+// ExampleWithQueryTimeout bounds one query's execution time. The
+// deadline cancels in-flight cluster work, and the error wraps
+// context.DeadlineExceeded so standard classification works; a timed
+// out query is NOT retryable (it would just time out again).
+func ExampleWithQueryTimeout() {
+	db := fudj.MustOpen(fudj.WithCluster(2, 2))
+
+	schema := fudj.NewSchema(fudj.Field{Name: "id", Kind: fudj.KindInt64})
+	recs := []fudj.Record{{fudj.NewInt64(1)}, {fudj.NewInt64(2)}}
+	if err := db.CreateDataset("t", schema, recs); err != nil {
+		log.Fatal(err)
+	}
+
+	// An already-expired deadline: the query is cancelled immediately.
+	_, err := db.Execute(`SELECT id FROM t`, fudj.WithQueryTimeout(time.Nanosecond))
+	var te *fudj.TimeoutError
+	fmt.Println("timeout error:", errors.As(err, &te))
+	fmt.Println("wraps deadline exceeded:", errors.Is(err, context.DeadlineExceeded))
+	fmt.Println("retryable:", fudj.IsRetryable(err))
+	// Output:
+	// timeout error: true
+	// wraps deadline exceeded: true
+	// retryable: false
+}
+
+// ExampleWithPriority ranks queries for admission under concurrent
+// load. With free capacity a query admits immediately whatever its
+// class; under contention, high-priority queries receive a 4:2:1
+// weighted share of admission slots.
+func ExampleWithPriority() {
+	db := fudj.MustOpen(
+		fudj.WithCluster(2, 2),
+		fudj.WithConcurrencyLimit(2), // at most 2 queries execute at once
+	)
+
+	schema := fudj.NewSchema(fudj.Field{Name: "id", Kind: fudj.KindInt64})
+	recs := []fudj.Record{{fudj.NewInt64(1)}, {fudj.NewInt64(2)}}
+	if err := db.CreateDataset("t", schema, recs); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Execute(`SELECT count(*) FROM t`, fudj.WithPriority(fudj.PriorityHigh))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows:", res.Rows[0][0])
+	fmt.Println("priority:", res.Sched.Priority)
+	// Output:
+	// rows: 2
+	// priority: high
 }

@@ -9,6 +9,7 @@ package analysis
 import (
 	"fudj/internal/analysis/boundedalloc"
 	"fudj/internal/analysis/ctxplumb"
+	"fudj/internal/analysis/errwrap"
 	"fudj/internal/analysis/framework"
 	"fudj/internal/analysis/maporder"
 	"fudj/internal/analysis/metricslock"
@@ -27,5 +28,6 @@ func All() []*framework.Analyzer {
 		ctxplumb.Analyzer,
 		metricslock.Analyzer,
 		spillclose.Analyzer,
+		errwrap.Analyzer,
 	}
 }

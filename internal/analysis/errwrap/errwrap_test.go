@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"fudj/internal/analysis/errwrap"
+	"fudj/internal/analysis/framework"
+)
+
+func TestErrwrap(t *testing.T) {
+	framework.RunTest(t, "testdata", errwrap.Analyzer, "a")
+}

@@ -86,7 +86,7 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
 	}
 	var pkgs []listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))

@@ -97,9 +97,10 @@ type env struct {
 
 // newEnv builds the standard experiment environment: the four
 // datasets at the configured scale, all three libraries installed,
-// joins created, and built-in operators registered.
-func newEnv(cfg Config, parks, fires, rides, reviews int) (*env, error) {
-	db, err := fudj.Open(fudj.OptionsFor(cfg.Nodes, cfg.Cores))
+// joins created, and built-in operators registered. Extra options
+// (admission limits, memory pools) are applied after the cluster shape.
+func newEnv(cfg Config, parks, fires, rides, reviews int, opts ...fudj.Option) (*env, error) {
+	db, err := fudj.Open(append([]fudj.Option{fudj.OptionsFor(cfg.Nodes, cfg.Cores)}, opts...)...)
 	if err != nil {
 		return nil, err
 	}

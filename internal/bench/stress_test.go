@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestStressSchedulerInvariants is the acceptance gate for the
+// admission controller: an open-loop storm of 240 mixed joins (spatial
+// / interval / text-similarity, every 11th poisoned with a panicking
+// UDF) against 8 slots and a 16 MiB pool. It asserts the scheduler's
+// contracts exactly: zero budget overshoot, zero cross-query
+// interference, every shed retryable, and a clean drain that leaves no
+// temp-file residue and refuses late arrivals.
+func TestStressSchedulerInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+
+	cfg := DefaultStressConfig()
+	var buf bytes.Buffer
+	rep, err := RunStress(cfg, &buf)
+	if err != nil {
+		t.Fatalf("RunStress: %v\n%s", err, buf.String())
+	}
+	t.Logf("\n%s", buf.String())
+
+	if got := rep.Completed + rep.Shed + rep.Poisoned + rep.TimedOut + rep.Failed; got != rep.Queries {
+		t.Errorf("outcomes sum to %d, want %d arrivals", got, rep.Queries)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("%d queries failed with unexpected errors", rep.Failed)
+	}
+	if rep.Mismatched != 0 {
+		t.Errorf("%d completed queries returned a different multiset than their serial baseline", rep.Mismatched)
+	}
+	if rep.BadShed != 0 {
+		t.Errorf("%d sheds were not retryable", rep.BadShed)
+	}
+	if rep.Poisoned == 0 {
+		t.Error("no poison query reached its UDF panic — the interference arm never ran")
+	}
+	if rep.LeasePeak <= 0 || rep.LeasePeak > rep.Pool {
+		t.Errorf("lease peak %d outside (0, pool %d]: budget overshoot or no accounting", rep.LeasePeak, rep.Pool)
+	}
+	// Bounded shedding, not collapse: under 2× overload a healthy
+	// scheduler still completes a solid fraction of offered load.
+	if rep.Completed < rep.Queries/4 {
+		t.Errorf("only %d/%d completed — shed storm ate the service", rep.Completed, rep.Queries)
+	}
+	if rep.DrainErr != nil {
+		t.Errorf("drain was forced: %v", rep.DrainErr)
+	}
+	if !rep.LateShed {
+		t.Error("post-drain arrival was not refused with ReasonDraining")
+	}
+	entries, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("orphaned temp entry after drain: %s", e.Name())
+	}
+}
+
+// TestStressWithFaultInjection re-runs a smaller storm with
+// probabilistic task crashes armed: retries happen mid-contention and
+// every completed query must still match its serial baseline.
+func TestStressWithFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+
+	cfg := DefaultStressConfig()
+	cfg.Queries = 80
+	cfg.Faults = true
+	cfg.Seed = 23
+	rep, err := RunStress(cfg, nil)
+	if err != nil {
+		t.Fatalf("RunStress: %v", err)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("%d queries failed despite retryable fault injection", rep.Failed)
+	}
+	if rep.Mismatched != 0 {
+		t.Errorf("%d queries corrupted by injected faults", rep.Mismatched)
+	}
+	if rep.LeasePeak > rep.Pool {
+		t.Errorf("lease peak %d overshot pool %d under fault injection", rep.LeasePeak, rep.Pool)
+	}
+	if entries, err := os.ReadDir(tmp); err == nil {
+		for _, e := range entries {
+			t.Errorf("orphaned temp entry: %s", e.Name())
+		}
+	}
+}
+
+// TestStressTimeoutsClassify runs a storm with a deadline tight enough
+// that some queries time out; timeouts must land in TimedOut (a
+// structured, non-retryable classification), never in Failed.
+func TestStressTimeoutsClassify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultStressConfig()
+	cfg.Queries = 60
+	cfg.Timeout = 3 * time.Millisecond
+	cfg.PoisonEvery = 0
+	rep, err := RunStress(cfg, nil)
+	if err != nil {
+		t.Fatalf("RunStress: %v", err)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("%d queries failed with unstructured errors under deadline pressure", rep.Failed)
+	}
+	if rep.Mismatched != 0 {
+		t.Errorf("%d surviving queries mismatched", rep.Mismatched)
+	}
+}

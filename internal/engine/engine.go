@@ -8,6 +8,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"fudj/internal/cluster"
 	"fudj/internal/core"
 	"fudj/internal/expr"
+	"fudj/internal/sched"
 	"fudj/internal/sqlparse"
 	"fudj/internal/trace"
 	"fudj/internal/types"
@@ -41,8 +43,19 @@ type BuiltinJoinFunc func(c *cluster.Cluster, left cluster.Data, leftKey expr.Ev
 	right cluster.Data, rightKey expr.Evaluator, params []types.Value) (cluster.Data, error)
 
 // Database is one engine instance: metadata plus execution settings.
+// A Database is safe for concurrent Execute calls: every query passes
+// through the admission scheduler, and the mutable execution settings
+// below are guarded by mu so a Set* call mid-flight never races a
+// running query (each query reads a setting once, at a well-defined
+// point).
 type Database struct {
-	catalog    *catalog.Catalog
+	catalog  *catalog.Catalog
+	sched    *sched.Scheduler
+	schedCfg sched.Config // accumulated by options, consumed at Open
+	clock    trace.Clock  // fixed at Open
+	tracing  bool         // fixed at Open
+
+	mu         sync.RWMutex // guards the mutable settings below
 	clusterCfg cluster.Config
 	mode       JoinMode
 	smartTheta bool
@@ -51,8 +64,6 @@ type Database struct {
 	retryPol   *cluster.RetryPolicy
 	memBudget  int64
 	ckpt       bool
-	clock      trace.Clock
-	tracing    bool
 }
 
 // Open creates a database. With no options it mirrors the paper's
@@ -77,6 +88,8 @@ func Open(opts ...Option) (*Database, error) {
 	if err := db.clusterCfg.Validate(); err != nil {
 		return nil, err
 	}
+	db.schedCfg.Clock = db.clock
+	db.sched = sched.New(db.schedCfg)
 	return db, nil
 }
 
@@ -94,21 +107,33 @@ func (db *Database) Catalog() *catalog.Catalog { return db.catalog }
 
 // SetJoinMode switches between FUDJ and built-in execution of FUDJ
 // predicates.
-func (db *Database) SetJoinMode(m JoinMode) { db.mode = m }
+func (db *Database) SetJoinMode(m JoinMode) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.mode = m
+}
 
 // SetCheckpoints enables durable phase barriers for subsequent
 // queries: the broadcast plan and every partition's post-shuffle input
 // are checkpointed, so a node lost at a barrier recovers in place
 // (reload, or recompute on a damaged file) instead of aborting and
 // re-running the whole join step.
-func (db *Database) SetCheckpoints(on bool) { db.ckpt = on }
+func (db *Database) SetCheckpoints(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.ckpt = on
+}
 
 // SetSmartTheta enables the balanced theta bucket-matching operator
 // for multi-join FUDJs, replacing the paper's broadcast + random
 // partitioning (§VII-C) with coordinator-scheduled bucket pairs — the
 // Theta Join Operator the paper proposes as future work (§VIII).
 // Disabled by default to match the paper's measured configuration.
-func (db *Database) SetSmartTheta(on bool) { db.smartTheta = on }
+func (db *Database) SetSmartTheta(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.smartTheta = on
+}
 
 // SetCluster reconfigures the simulated cluster for subsequent queries
 // (the scalability experiments sweep this).
@@ -116,6 +141,8 @@ func (db *Database) SetCluster(cfg cluster.Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.clusterCfg = cfg
 	return nil
 }
@@ -123,6 +150,8 @@ func (db *Database) SetCluster(cfg cluster.Config) error {
 // RegisterBuiltinJoin installs a hand-built operator for a FUDJ
 // function name, used when the join mode is ModeBuiltin.
 func (db *Database) RegisterBuiltinJoin(name string, op BuiltinJoinFunc) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.builtins[name] = op
 }
 
@@ -131,6 +160,8 @@ func (db *Database) RegisterBuiltinJoin(name string, op BuiltinJoinFunc) {
 // Deprecated: pass WithFaults to Open instead. Kept as a thin shim for
 // one release.
 func (db *Database) SetFaultConfig(cfg *cluster.FaultConfig) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if cfg == nil {
 		db.faultCfg = nil
 		return
@@ -145,6 +176,8 @@ func (db *Database) SetFaultConfig(cfg *cluster.FaultConfig) {
 // Deprecated: pass WithRetryPolicy to Open instead. Kept as a thin
 // shim for one release.
 func (db *Database) SetRetryPolicy(pol cluster.RetryPolicy) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.retryPol = &pol
 }
 
@@ -157,11 +190,78 @@ func (db *Database) SetMemoryBudget(bytes int64) {
 	if bytes < 0 {
 		bytes = 0
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.memBudget = bytes
 }
 
 // MemoryBudget reports the configured per-query budget (0 = unbounded).
-func (db *Database) MemoryBudget() int64 { return db.memBudget }
+func (db *Database) MemoryBudget() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.memBudget
+}
+
+// execSettings is the point-in-time copy of the mutable execution
+// settings one query runs with: taken once under the read lock at
+// query start, so a concurrent Set* call flips the NEXT query, never a
+// running one.
+type execSettings struct {
+	clusterCfg cluster.Config
+	mode       JoinMode
+	smartTheta bool
+	faultCfg   *cluster.FaultConfig
+	retryPol   *cluster.RetryPolicy
+	memBudget  int64
+	ckpt       bool
+}
+
+// settings snapshots the mutable execution settings.
+func (db *Database) settings() execSettings {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var fc *cluster.FaultConfig
+	if db.faultCfg != nil {
+		c := *db.faultCfg
+		fc = &c
+	}
+	var rp *cluster.RetryPolicy
+	if db.retryPol != nil {
+		p := *db.retryPol
+		rp = &p
+	}
+	return execSettings{
+		clusterCfg: db.clusterCfg,
+		mode:       db.mode,
+		smartTheta: db.smartTheta,
+		faultCfg:   fc,
+		retryPol:   rp,
+		memBudget:  db.memBudget,
+		ckpt:       db.ckpt,
+	}
+}
+
+// builtin looks one hand-built operator up under the read lock.
+func (db *Database) builtin(name string) (BuiltinJoinFunc, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	op, ok := db.builtins[name]
+	return op, ok
+}
+
+// joinMode reads the join mode under the read lock.
+func (db *Database) joinMode() JoinMode {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.mode
+}
+
+// smartThetaOn reads the smart-theta switch under the read lock.
+func (db *Database) smartThetaOn() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.smartTheta
+}
 
 // CreateDataset loads a dataset into the engine.
 func (db *Database) CreateDataset(name string, schema *types.Schema, recs []types.Record) error {
@@ -261,6 +361,7 @@ type Result struct {
 	Cluster ClusterStats
 	Faults  FaultStats
 	Memory  MemoryStats
+	Sched   SchedStats
 
 	Trace   *trace.Span
 	Metrics map[string]int64
@@ -307,7 +408,9 @@ func (c *statsCounters) flush(m *cluster.Metrics) {
 
 // execOpts carries per-query execution options.
 type execOpts struct {
-	trace bool
+	trace    bool
+	timeout  time.Duration
+	priority sched.Priority
 }
 
 // ExecOption adjusts the execution of one statement.
@@ -317,6 +420,25 @@ type ExecOption func(*execOpts)
 // carries the root span in Result.Trace.
 func Trace() ExecOption {
 	return func(o *execOpts) { o.trace = true }
+}
+
+// Timeout bounds this statement's execution: past d the query's
+// context is cancelled (aborting cluster exchanges and barrier waits)
+// and the statement returns a *TimeoutError wrapping
+// context.DeadlineExceeded — classified non-retryable by the fault
+// machinery. Zero or negative disables the bound.
+func Timeout(d time.Duration) ExecOption {
+	return func(o *execOpts) {
+		if d > 0 {
+			o.timeout = d
+		}
+	}
+}
+
+// Priority ranks this statement for admission under concurrent load
+// (see sched.Priority). The default is sched.PriorityNormal.
+func Priority(p sched.Priority) ExecOption {
+	return func(o *execOpts) { o.priority = p }
 }
 
 // Execute parses and runs one statement. DDL statements return a
@@ -373,7 +495,7 @@ func (db *Database) ExecuteStmtContext(ctx context.Context, stmt sqlparse.Statem
 				Plan:   plan.explain(),
 			}, nil
 		}
-		eo := execOpts{trace: db.tracing}
+		eo := execOpts{trace: db.tracing, priority: sched.PriorityNormal}
 		for _, o := range opts {
 			if o != nil {
 				o(&eo)
@@ -384,9 +506,19 @@ func (db *Database) ExecuteStmtContext(ctx context.Context, stmt sqlparse.Statem
 			// forced so the rendered plan carries measured spans.
 			eo.trace = true
 		}
-		res, err := db.run(ctx, plan, eo)
+		// Admission: every executing SELECT holds a scheduler ticket for
+		// its whole lifetime — the slot and memory lease come back only
+		// when the query (including its spill/checkpoint teardown) is
+		// done, which is what lets Drain guarantee a clean sweep.
+		runCtx, cancel, ticket, err := db.admit(ctx, eo)
 		if err != nil {
 			return nil, err
+		}
+		defer cancel()
+		defer ticket.Release()
+		res, err := db.run(runCtx, plan, eo, ticket)
+		if err != nil {
+			return nil, wrapTimeout(err, eo)
 		}
 		if s.Explain && s.Analyze {
 			// Replace the output rows with the executed plan annotated by

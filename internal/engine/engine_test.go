@@ -21,9 +21,10 @@ import (
 // newTestDB builds a database with small synthetic Parks, Wildfires,
 // Rides, and Reviews datasets plus all three FUDJ libraries installed
 // and their joins created.
-func newTestDB(t *testing.T) *Database {
+func newTestDB(t *testing.T, opts ...Option) *Database {
 	t.Helper()
-	db := MustOpen(Options{Cluster: cluster.Config{Nodes: 2, CoresPerNode: 2}})
+	all := append([]Option{Options{Cluster: cluster.Config{Nodes: 2, CoresPerNode: 2}}}, opts...)
+	db := MustOpen(all...)
 	rng := rand.New(rand.NewSource(99))
 
 	// Parks: id, boundary (polygon), tags (string).

@@ -8,6 +8,7 @@ import (
 	"fudj/internal/cluster"
 	"fudj/internal/core"
 	"fudj/internal/expr"
+	"fudj/internal/sched"
 	"fudj/internal/storage"
 	"fudj/internal/trace"
 	"fudj/internal/types"
@@ -16,34 +17,44 @@ import (
 // run executes a planned query on a fresh cluster instance. When
 // tracing is enabled it grows a span tree mirroring the executed plan
 // (query → operator → phase → partition task); all timing flows
-// through the database's injected clock, never time.Now.
-func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts) (*Result, error) {
+// through the database's injected clock, never time.Now. The mutable
+// database settings are snapshotted once at the top, so a concurrent
+// Set* call never changes a query mid-flight. The admission ticket
+// carries the query's memory lease: under a shared pool it overrides
+// the configured per-query budget (the lease IS the budget).
+func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts, ticket *sched.Ticket) (*Result, error) {
+	set := db.settings()
 	start := db.clock.Now()
 	var root *trace.Span
 	if eo.trace {
 		root = trace.NewSpan(db.clock, "query")
 	}
-	clus := cluster.New(db.clusterCfg)
+	clus := cluster.New(set.clusterCfg)
 	clus.SetClock(db.clock)
 	clus.SetSpan(root)
 	clus.SetContext(ctx)
-	if db.retryPol != nil {
-		clus.SetRetryPolicy(*db.retryPol)
+	if set.retryPol != nil {
+		clus.SetRetryPolicy(*set.retryPol)
 	}
-	if db.faultCfg != nil {
+	if set.faultCfg != nil {
 		// A fresh injector per query: fault decisions depend only on the
 		// seed and the fault site, so re-running the query replays the
 		// exact same failures.
-		clus.SetFaults(cluster.NewFaultInjector(*db.faultCfg))
+		clus.SetFaults(cluster.NewFaultInjector(*set.faultCfg))
 	}
 	counters := &statsCounters{}
 
 	// Memory-bounded execution: split the query budget over partitions,
 	// bound the shuffle inboxes, and stand up the spill directory the
-	// COMBINE phases degrade into when a build exceeds its share.
+	// COMBINE phases degrade into when a build exceeds its share. The
+	// budget is the admission lease when a pool granted one.
+	budget := set.memBudget
+	if ticket != nil && ticket.Lease() > 0 {
+		budget = ticket.Lease()
+	}
 	var mem *memState
-	if db.memBudget > 0 {
-		clus.SetMemoryBudget(db.memBudget)
+	if budget > 0 {
+		clus.SetMemoryBudget(budget)
 		var cleanup func()
 		var err error
 		mem, cleanup, err = newMemState(clus)
@@ -60,14 +71,14 @@ func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts) (*Result
 	// kill-at-barrier faults are armed, so barrier losses surface as
 	// retryable step aborts (the abort-and-rerun baseline).
 	var rm *cluster.RecoveryManager
-	if db.ckpt {
+	if set.ckpt {
 		store, err := storage.NewCheckpointStore()
 		if err != nil {
 			return nil, err
 		}
 		rm = clus.NewRecoveryManager(store)
 		defer rm.Sweep()
-	} else if db.faultCfg != nil && (db.faultCfg.BarrierKillProb > 0 || len(db.faultCfg.BarrierKills) > 0) {
+	} else if set.faultCfg != nil && (set.faultCfg.BarrierKillProb > 0 || len(set.faultCfg.BarrierKills) > 0) {
 		rm = clus.NewRecoveryManager(nil)
 	}
 
@@ -207,6 +218,15 @@ func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts) (*Result
 	// read could mix epochs if anything were still in flight).
 	reg := clus.Metrics()
 	counters.flush(reg)
+	var schedStats SchedStats
+	if ticket != nil {
+		stampSched(reg, root, ticket, db.sched.Stats())
+		schedStats = SchedStats{
+			QueueWait:  ticket.Wait(),
+			LeaseBytes: ticket.Lease(),
+			Priority:   ticket.Priority(),
+		}
+	}
 	m := reg.Snapshot()
 	res := &Result{
 		Schema:  p.outSchema,
@@ -240,6 +260,7 @@ func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts) (*Result
 			BucketsSplit: m.BucketsSplit,
 			Backpressure: m.Backpressure,
 		},
+		Sched:   schedStats,
 		Trace:   root,
 		Metrics: reg.Values(),
 	}
@@ -247,8 +268,8 @@ func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts) (*Result
 }
 
 // run is invoked from Database.ExecuteStmt.
-func (db *Database) run(ctx context.Context, p *queryPlan, eo execOpts) (*Result, error) {
-	return p.run(ctx, db, eo)
+func (db *Database) run(ctx context.Context, p *queryPlan, eo execOpts, ticket *sched.Ticket) (*Result, error) {
+	return p.run(ctx, db, eo, ticket)
 }
 
 func filterData(clus *cluster.Cluster, data cluster.Data, pred expr.Evaluator) (cluster.Data, error) {
@@ -401,7 +422,7 @@ func (db *Database) runBuiltinJoin(clus *cluster.Cluster, counters *statsCounter
 	left cluster.Data, leftSchema *types.Schema,
 	right cluster.Data, rightSchema *types.Schema) (out cluster.Data, err error) {
 
-	op, ok := db.builtins[f.def.Name]
+	op, ok := db.builtin(f.def.Name)
 	if !ok {
 		return nil, fmt.Errorf("engine: no built-in operator registered for %q", f.def.Name)
 	}

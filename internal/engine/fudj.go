@@ -354,7 +354,7 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 		if err != nil {
 			return nil, err
 		}
-	} else if db.smartTheta {
+	} else if db.smartThetaOn() {
 		// Balanced theta (the Theta Join Operator proposed as future
 		// work in §VIII): the coordinator gathers per-bucket record
 		// counts, enumerates the bucket pairs MATCH accepts, assigns

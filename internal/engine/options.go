@@ -70,6 +70,49 @@ func WithMemoryBudget(bytes int64) Option {
 	})
 }
 
+// WithConcurrencyLimit caps simultaneously executing queries: beyond
+// n, arrivals queue (bounded, priority-ordered) and overflow is shed
+// with a retryable *sched.AdmissionError. Zero or negative leaves
+// concurrency unbounded.
+func WithConcurrencyLimit(n int) Option {
+	return optionFunc(func(db *Database) error {
+		if n > 0 {
+			db.schedCfg.MaxConcurrent = n
+		}
+		return nil
+	})
+}
+
+// WithQueueDepth bounds the admission queue (across all priorities).
+// Waiters beyond the bound are shed immediately. Zero or negative
+// selects sched.DefaultQueueDepth.
+func WithQueueDepth(n int) Option {
+	return optionFunc(func(db *Database) error {
+		if n > 0 {
+			db.schedCfg.QueueDepth = n
+		}
+		return nil
+	})
+}
+
+// WithMemoryPool installs a shared memory pool: each admitted query
+// leases its memory budget from these bytes at admission (requesting
+// the WithMemoryBudget amount, or an even pool share by default) and
+// returns the lease when it finishes. Under contention the scheduler
+// may grant a reduced lease — the query then runs with a tighter
+// budget and degrades into spilling — and sheds queries it cannot
+// serve with a retryable *sched.AdmissionError. The sum of outstanding
+// leases never exceeds the pool. Zero or negative disables pooling
+// (each query uses WithMemoryBudget alone, unguarded globally).
+func WithMemoryPool(bytes int64) Option {
+	return optionFunc(func(db *Database) error {
+		if bytes > 0 {
+			db.schedCfg.Pool = bytes
+		}
+		return nil
+	})
+}
+
 // WithCheckpoints enables durable phase barriers: every query
 // checkpoints the broadcast plan after SUMMARIZE and each partition's
 // post-shuffle bucket inputs after PARTITION, so a node lost at a

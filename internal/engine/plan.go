@@ -313,8 +313,8 @@ func (db *Database) buildFUDJStep(p *queryPlan, covered map[string]bool, rightId
 	}
 
 	kind := joinFUDJ
-	if db.mode == ModeBuiltin {
-		if _, ok := db.builtins[call.Name]; ok {
+	if db.joinMode() == ModeBuiltin {
+		if _, ok := db.builtin(call.Name); ok {
 			kind = joinBuiltin
 		}
 	}

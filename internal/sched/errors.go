@@ -1,0 +1,77 @@
+package sched
+
+import "fmt"
+
+// Reason classifies why an admission request was refused.
+type Reason int
+
+const (
+	// ReasonQueueFull: the bounded admission queue is at capacity —
+	// classic overload shedding. Retry with backoff.
+	ReasonQueueFull Reason = iota + 1
+	// ReasonPoolExhausted: the request could never be satisfied by the
+	// memory pool (even a minimum grant exceeds the whole pool), or the
+	// pool is exhausted and no queue slot is configured to wait in.
+	ReasonPoolExhausted
+	// ReasonDraining: the scheduler is draining and admits no new work.
+	ReasonDraining
+	// ReasonCanceled: the caller's context ended while the request was
+	// still queued.
+	ReasonCanceled
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case ReasonQueueFull:
+		return "queue full"
+	case ReasonPoolExhausted:
+		return "memory pool exhausted"
+	case ReasonDraining:
+		return "draining"
+	case ReasonCanceled:
+		return "canceled while queued"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// AdmissionError reports a query shed at admission instead of executed.
+// Shedding under overload is transient by design — the same query
+// succeeds once load falls — so every reason except ReasonDraining is
+// retryable (the fault machinery's IsRetryable classification). A
+// draining scheduler never admits again, so clients should fail over
+// rather than retry. The Err field (set for ReasonCanceled) carries the
+// caller's context error for errors.Is chains.
+type AdmissionError struct {
+	Reason   Reason
+	Priority Priority
+	// Queued and Running are the scheduler occupancy at refusal time.
+	Queued  int
+	Running int
+	// WantBytes is the requested memory lease; FreeBytes what the pool
+	// had available.
+	WantBytes int64
+	FreeBytes int64
+	// Err is the underlying cause, when one exists (context errors).
+	Err error
+}
+
+// Error implements the error interface.
+func (e *AdmissionError) Error() string {
+	msg := fmt.Sprintf("sched: admission refused (%s): %d queued, %d running", e.Reason, e.Queued, e.Running)
+	if e.WantBytes > 0 {
+		msg += fmt.Sprintf(", lease want=%dB free=%dB", e.WantBytes, e.FreeBytes)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying context error, when present.
+func (e *AdmissionError) Unwrap() error { return e.Err }
+
+// Retryable reports whether re-submitting the same query later could
+// succeed: true for load shedding (queue/pool pressure passes), false
+// once the scheduler is draining for good.
+func (e *AdmissionError) Retryable() bool { return e.Reason != ReasonDraining }

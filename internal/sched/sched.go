@@ -1,0 +1,591 @@
+// Package sched is the engine's concurrent-query admission controller:
+// the layer that makes one Database safe — and gracefully degrading —
+// under many simultaneous Execute calls.
+//
+// Queries enter through Acquire, which either admits them immediately,
+// parks them in a bounded priority queue, or sheds them with a
+// structured *AdmissionError (overload never manifests as unbounded
+// queueing or an OOM kill). Admission grants each query a memory
+// *lease* carved from one shared global pool: the per-query budget the
+// spill machinery (internal/engine/spill.go) already enforces, so a
+// reduced grant under contention degrades into spill pressure instead
+// of an out-of-memory failure. The sum of outstanding leases never
+// exceeds the pool — the invariant the stress suite asserts.
+//
+// Deadlock freedom: every grant decision is made at a single point
+// (dispatch, under one mutex), each query acquires exactly one lease
+// for its whole lifetime at admission, and nothing is acquired
+// incrementally mid-query — so there is no lock or resource ordering to
+// get wrong, and no circular wait is constructible.
+//
+// Fairness: waiters are FIFO within a priority class; classes are
+// served by weighted round-robin credits (High 4 : Normal 2 : Low 1),
+// so a flood of low-priority work cannot starve interactive queries and
+// vice versa. Pool grants are strictly head-of-line: when the next
+// selected waiter's minimum grant does not fit, nobody behind it jumps
+// the pool — slightly lower utilization, but no starvation of large
+// queries.
+//
+// Graceful drain: Drain stops admission (late arrivals shed with
+// ReasonDraining), lets in-flight queries finish, and past the caller's
+// deadline cancels whatever is still running, returning only once every
+// query has released its lease — at which point per-query temp state
+// (spill directories, checkpoints) has been swept by the queries' own
+// teardown.
+package sched
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"fudj/internal/trace"
+)
+
+// Priority ranks a query for admission. Higher priorities get a larger
+// share of admission slots under contention, never exclusive access.
+type Priority int
+
+const (
+	// PriorityLow is for batch/background work.
+	PriorityLow Priority = iota
+	// PriorityNormal is the default.
+	PriorityNormal
+	// PriorityHigh is for interactive queries.
+	PriorityHigh
+
+	numPriorities = 3
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	}
+	return "invalid"
+}
+
+// weight returns the class's weighted-round-robin credit refill.
+func (p Priority) weight() int {
+	switch p {
+	case PriorityHigh:
+		return 4
+	case PriorityLow:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// clamp maps out-of-range priorities onto the nearest valid class.
+func (p Priority) clamp() Priority {
+	if p < PriorityLow {
+		return PriorityLow
+	}
+	if p > PriorityHigh {
+		return PriorityHigh
+	}
+	return p
+}
+
+// DefaultQueueDepth bounds the admission queue when the configuration
+// does not: enough to ride out bursts, small enough that shed latency
+// stays visible instead of queues growing without limit.
+const DefaultQueueDepth = 64
+
+// Config sizes the scheduler.
+type Config struct {
+	// MaxConcurrent caps simultaneously running queries. <=0 means
+	// unbounded (admission never queues on slots).
+	MaxConcurrent int
+	// QueueDepth bounds the admission queue across all priorities.
+	// <=0 selects DefaultQueueDepth when any other limit is set.
+	QueueDepth int
+	// Pool is the shared memory pool in bytes that per-query leases are
+	// carved from. <=0 disables memory-governed admission.
+	Pool int64
+	// Clock supplies queue-latency timestamps (tests inject a fake).
+	Clock trace.Clock
+}
+
+// limited reports whether any admission limit is configured.
+func (c Config) limited() bool { return c.MaxConcurrent > 0 || c.Pool > 0 }
+
+// Request describes one query seeking admission.
+type Request struct {
+	// Priority ranks the query; out-of-range values are clamped.
+	Priority Priority
+	// Lease is the requested memory lease in bytes. Zero asks for the
+	// default share (Pool / MaxConcurrent, or Pool/8 when concurrency
+	// is unbounded). Ignored when the scheduler has no pool.
+	Lease int64
+	// Cancel, when non-nil, is invoked to abort the query if a Drain
+	// deadline expires while it is still running.
+	Cancel context.CancelFunc
+}
+
+// Ticket is one admitted query's grant: its lease and queue-latency
+// measurement. Release returns the slot and lease to the scheduler;
+// it is idempotent.
+type Ticket struct {
+	s        *Scheduler
+	lease    int64
+	wait     time.Duration
+	prio     Priority
+	cancel   context.CancelFunc
+	released bool
+}
+
+// Lease returns the granted memory lease in bytes (0 = no pool).
+func (t *Ticket) Lease() int64 { return t.lease }
+
+// Wait returns how long the query waited in the admission queue.
+func (t *Ticket) Wait() time.Duration { return t.wait }
+
+// Priority returns the class the query was admitted under.
+func (t *Ticket) Priority() Priority { return t.prio }
+
+// Release returns the ticket's slot and lease to the pool, admitting
+// waiting queries. Safe to call more than once.
+func (t *Ticket) Release() {
+	if t == nil {
+		return
+	}
+	t.s.release(t)
+}
+
+// grantResult is what a parked waiter eventually receives: a ticket on
+// admission, or the structured refusal when the scheduler sheds it.
+type grantResult struct {
+	t   *Ticket
+	err *AdmissionError
+}
+
+// waiter is one parked admission request.
+type waiter struct {
+	prio    Priority
+	lease   int64 // requested lease bytes
+	cancel  context.CancelFunc
+	arrived time.Time
+	ready   chan grantResult // buffered(1); dispatch/drain delivers the outcome
+	gone    bool             // caller abandoned the request (context ended)
+}
+
+// Stats is one consistent view of the scheduler's counters.
+type Stats struct {
+	// Totals since the scheduler was created.
+	Admitted int64 // queries granted a slot (immediately or after queueing)
+	Queued   int64 // queries that had to wait in the queue
+	Shed     int64 // queries refused with an AdmissionError
+	Reduced  int64 // leases granted below the requested size (spill pressure)
+
+	// Instantaneous occupancy.
+	Running int
+	Waiting int
+
+	// Lease accounting. LeaseBytes is the sum of outstanding leases;
+	// LeasePeak its high-water mark — the value that must never exceed
+	// the pool.
+	LeaseBytes int64
+	LeasePeak  int64
+	Pool       int64
+
+	// Queue latency: observation count, sum, and max (nanoseconds).
+	WaitCount int64
+	WaitNs    int64
+	WaitMaxNs int64
+
+	Draining bool
+}
+
+// Scheduler is the admission controller. One per Database; safe for
+// concurrent use.
+type Scheduler struct {
+	cfg Config
+
+	mu       sync.Mutex
+	free     int64 // pool bytes not currently leased
+	running  int
+	draining bool
+	queues   [numPriorities][]*waiter
+	waiting  int
+	credit   [numPriorities]int
+	active   map[*Ticket]context.CancelFunc
+	changed  chan struct{} // closed+replaced on every release (drain wakeup)
+
+	stats Stats
+}
+
+// New builds a scheduler. A zero Config means "no limits": every query
+// admits immediately, and only the counters are maintained.
+func New(cfg Config) *Scheduler {
+	if cfg.Clock == nil {
+		cfg.Clock = trace.WallClock{}
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Pool < 0 {
+		cfg.Pool = 0
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		free:    cfg.Pool,
+		active:  make(map[*Ticket]context.CancelFunc),
+		changed: make(chan struct{}),
+	}
+	for p := range s.credit {
+		s.credit[p] = Priority(p).weight()
+	}
+	s.stats.Pool = cfg.Pool
+	return s
+}
+
+// Pool returns the configured shared memory pool (0 = none).
+func (s *Scheduler) Pool() int64 { return s.cfg.Pool }
+
+// Stats returns a consistent snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Running = s.running
+	st.Waiting = s.waiting
+	st.Draining = s.draining
+	return st
+}
+
+// wantLease normalizes a request's lease against the pool: zero asks
+// for the default share, and no single query may lease more than the
+// whole pool.
+func (s *Scheduler) wantLease(req int64) int64 {
+	if s.cfg.Pool <= 0 {
+		return 0
+	}
+	if req <= 0 {
+		if s.cfg.MaxConcurrent > 0 {
+			req = s.cfg.Pool / int64(s.cfg.MaxConcurrent)
+		} else {
+			req = s.cfg.Pool / 8
+		}
+		if req < 1 {
+			req = 1
+		}
+	}
+	if req > s.cfg.Pool {
+		req = s.cfg.Pool
+	}
+	return req
+}
+
+// minGrant is the smallest lease a request accepts: a quarter of what
+// it asked for. Granting less than requested is the scheduler's
+// revocation lever — the query runs with a tighter budget and degrades
+// into spilling instead of waiting for the full grant.
+func minGrant(want int64) int64 {
+	m := want / 4
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Acquire admits one query, blocking in the bounded priority queue when
+// the scheduler is saturated. It returns a Ticket whose lease the query
+// must treat as its memory budget, or a structured *AdmissionError when
+// the query is shed (queue full, pool exhausted with no queue slot,
+// draining, or the caller's context ending first).
+func (s *Scheduler) Acquire(ctx context.Context, req Request) (*Ticket, error) {
+	prio := req.Priority.clamp()
+	s.mu.Lock()
+	if s.draining {
+		err := s.refuse(prio, ReasonDraining, 0, nil)
+		s.mu.Unlock()
+		return nil, err
+	}
+	if !s.cfg.limited() {
+		// No limits configured: the fast path still counts admissions so
+		// observability works before any limit is turned on.
+		t := s.grant(prio, 0, 0, req.Cancel, time.Time{})
+		s.mu.Unlock()
+		return t, nil
+	}
+	want := s.wantLease(req.Lease)
+	if s.cfg.Pool > 0 && minGrant(want) > s.cfg.Pool {
+		err := s.refuse(prio, ReasonPoolExhausted, want, nil)
+		s.mu.Unlock()
+		return nil, err
+	}
+	// Immediate admission only from an empty queue — arrivals never
+	// overtake parked waiters.
+	if s.waiting == 0 && s.admissible(want) {
+		t := s.grant(prio, want, s.grantSize(want), req.Cancel, time.Time{})
+		s.mu.Unlock()
+		return t, nil
+	}
+	if s.waiting >= s.cfg.QueueDepth {
+		err := s.refuse(prio, ReasonQueueFull, want, nil)
+		s.mu.Unlock()
+		return nil, err
+	}
+	w := &waiter{
+		prio:    prio,
+		lease:   want,
+		cancel:  req.Cancel,
+		arrived: s.cfg.Clock.Now(),
+		ready:   make(chan grantResult, 1),
+	}
+	s.queues[prio] = append(s.queues[prio], w)
+	s.waiting++
+	s.stats.Queued++
+	s.mu.Unlock()
+
+	select {
+	case g := <-w.ready:
+		if g.err != nil {
+			return nil, g.err
+		}
+		return g.t, nil
+	case <-ctx.Done():
+	}
+	// The context ended while queued. Re-check under the lock: dispatch
+	// or drain may have resolved the request concurrently, in which case
+	// that outcome wins (a concurrent grant must go back to the pool).
+	s.mu.Lock()
+	select {
+	case g := <-w.ready:
+		if g.err != nil {
+			s.mu.Unlock()
+			return nil, g.err
+		}
+		s.mu.Unlock()
+		g.t.Release()
+		s.mu.Lock()
+		err := s.refuse(prio, ReasonCanceled, want, ctx.Err())
+		s.stats.Admitted-- // the grant was never used
+		s.mu.Unlock()
+		return nil, err
+	default:
+	}
+	w.gone = true
+	s.unqueue(w)
+	err := s.refuse(prio, ReasonCanceled, want, ctx.Err())
+	s.mu.Unlock()
+	return nil, err
+}
+
+// refuse builds the shed error and counts it. Callers must hold mu.
+func (s *Scheduler) refuse(prio Priority, reason Reason, want int64, cause error) *AdmissionError {
+	s.stats.Shed++
+	return &AdmissionError{
+		Reason:    reason,
+		Priority:  prio,
+		Queued:    s.waiting,
+		Running:   s.running,
+		WantBytes: want,
+		FreeBytes: s.free,
+		Err:       cause,
+	}
+}
+
+// admissible reports whether a request wanting `want` bytes can be
+// admitted right now. Callers must hold mu.
+func (s *Scheduler) admissible(want int64) bool {
+	if s.cfg.MaxConcurrent > 0 && s.running >= s.cfg.MaxConcurrent {
+		return false
+	}
+	if s.cfg.Pool > 0 && s.free < minGrant(want) {
+		return false
+	}
+	return true
+}
+
+// grantSize picks the lease actually granted: the full request when the
+// pool covers it, otherwise whatever is free (already >= the minimum
+// grant, per admissible). Callers must hold mu.
+func (s *Scheduler) grantSize(want int64) int64 {
+	if s.cfg.Pool <= 0 || want <= 0 {
+		return 0
+	}
+	if s.free >= want {
+		return want
+	}
+	return s.free
+}
+
+// grant admits one query, charging the pool. Callers must hold mu.
+func (s *Scheduler) grant(prio Priority, want, lease int64, cancel context.CancelFunc, arrived time.Time) *Ticket {
+	s.running++
+	s.stats.Admitted++
+	if lease > 0 {
+		s.free -= lease
+		s.stats.LeaseBytes += lease
+		if s.stats.LeaseBytes > s.stats.LeasePeak {
+			s.stats.LeasePeak = s.stats.LeaseBytes
+		}
+		if lease < want {
+			s.stats.Reduced++
+		}
+	}
+	t := &Ticket{s: s, lease: lease, prio: prio, cancel: cancel}
+	if !arrived.IsZero() {
+		t.wait = s.cfg.Clock.Now().Sub(arrived)
+		s.stats.WaitCount++
+		s.stats.WaitNs += int64(t.wait)
+		if int64(t.wait) > s.stats.WaitMaxNs {
+			s.stats.WaitMaxNs = int64(t.wait)
+		}
+	}
+	if cancel != nil {
+		s.active[t] = cancel
+	}
+	return t
+}
+
+// release returns a ticket's slot and lease, wakes the drain waiter,
+// and dispatches queued work.
+func (s *Scheduler) release(t *Ticket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.released {
+		return
+	}
+	t.released = true
+	s.running--
+	if t.lease > 0 {
+		s.free += t.lease
+		s.stats.LeaseBytes -= t.lease
+	}
+	delete(s.active, t)
+	close(s.changed)
+	s.changed = make(chan struct{})
+	s.dispatch()
+}
+
+// dispatch admits queued waiters while capacity lasts, selecting the
+// next class by weighted round-robin credits and never skipping a
+// selected head that does not fit the pool (head-of-line blocking is
+// what keeps large requests from starving). Callers must hold mu.
+func (s *Scheduler) dispatch() {
+	for s.waiting > 0 {
+		w := s.selectNext()
+		if w == nil || !s.admissible(w.lease) {
+			return
+		}
+		s.unqueue(w)
+		t := s.grant(w.prio, w.lease, s.grantSize(w.lease), w.cancel, w.arrived)
+		w.ready <- grantResult{t: t}
+	}
+}
+
+// selectNext picks the next waiter by weighted round-robin over
+// non-empty priority classes, refilling credits when all non-empty
+// classes are spent. Callers must hold mu. Returns nil only when every
+// queue is empty.
+func (s *Scheduler) selectNext() *waiter {
+	order := [numPriorities]Priority{PriorityHigh, PriorityNormal, PriorityLow}
+	for refilled := false; ; {
+		for _, p := range order {
+			if len(s.queues[p]) > 0 && s.credit[p] > 0 {
+				s.credit[p]--
+				return s.queues[p][0]
+			}
+		}
+		if refilled {
+			return nil
+		}
+		nonempty := false
+		for _, p := range order {
+			if len(s.queues[p]) > 0 {
+				nonempty = true
+			}
+			s.credit[p] = p.weight()
+		}
+		if !nonempty {
+			return nil
+		}
+		refilled = true
+	}
+}
+
+// unqueue removes w from its class queue. Callers must hold mu.
+func (s *Scheduler) unqueue(w *waiter) {
+	q := s.queues[w.prio]
+	for i, x := range q {
+		if x == w {
+			s.queues[w.prio] = append(q[:i], q[i+1:]...)
+			s.waiting--
+			return
+		}
+	}
+}
+
+// Drain stops admission for good and waits for in-flight queries to
+// finish. Late arrivals shed with ReasonDraining; parked waiters are
+// shed immediately (they never started executing). When ctx ends
+// before the queries do, every registered in-flight cancel fires and
+// Drain keeps waiting until the queries release their leases — so on
+// return, no query is running and per-query temp state has been swept
+// by the queries' own teardown. Returns nil on a clean drain, or the
+// context's error when queries had to be cancelled.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	// Shed everything still queued: those queries never started, so
+	// "cancel at the deadline" does not apply to them.
+	for p := range s.queues {
+		for _, w := range s.queues[p] {
+			w.gone = true
+			// Deliver the refusal through the grant channel so the waiter
+			// wakes immediately rather than at its context deadline.
+			w.ready <- grantResult{err: s.refuse(w.prio, ReasonDraining, w.lease, nil)}
+		}
+		s.queues[p] = nil
+	}
+	s.waiting = 0
+	s.mu.Unlock()
+
+	forced := false
+	for {
+		s.mu.Lock()
+		if s.running == 0 {
+			s.mu.Unlock()
+			if forced {
+				return ctx.Err()
+			}
+			return nil
+		}
+		ch := s.changed
+		var cancels []context.CancelFunc
+		if !forced && ctx.Err() != nil {
+			for _, c := range s.active {
+				cancels = append(cancels, c)
+			}
+			forced = true
+		}
+		s.mu.Unlock()
+		for _, c := range cancels {
+			c()
+		}
+		if forced {
+			<-ch
+			continue
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

@@ -1,0 +1,451 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fudj/internal/trace"
+)
+
+func testClock() trace.Clock {
+	return trace.NewFakeClock(time.Unix(1700000000, 0), time.Millisecond)
+}
+
+func TestUnlimitedAdmitsImmediately(t *testing.T) {
+	s := New(Config{Clock: testClock()})
+	for i := 0; i < 10; i++ {
+		tk, err := s.Acquire(context.Background(), Request{})
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		if tk.Lease() != 0 {
+			t.Fatalf("unlimited scheduler granted lease %d", tk.Lease())
+		}
+		defer tk.Release()
+	}
+	st := s.Stats()
+	if st.Admitted != 10 || st.Running != 10 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want 10 admitted/running, 0 queued", st)
+	}
+}
+
+func TestConcurrencyLimitQueuesAndReleasesFIFO(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, Clock: testClock()})
+	first, err := s.Acquire(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tk, err := s.Acquire(context.Background(), Request{})
+			if err != nil {
+				t.Errorf("acquire %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			tk.Release()
+		}(i)
+		// Park them one at a time so queue order is deterministic.
+		waitFor(t, func() bool { return s.Stats().Waiting == i+1 })
+	}
+
+	first.Release()
+	wg.Wait()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("dequeue order = %v, want [0 1 2]", order)
+	}
+	st := s.Stats()
+	if st.Running != 0 || st.Waiting != 0 || st.Queued != 3 || st.Admitted != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.WaitCount != 3 || st.WaitNs <= 0 {
+		t.Fatalf("queue latency not recorded: %+v", st)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, QueueDepth: 2, Clock: testClock()})
+	tk, err := s.Acquire(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Release()
+	for i := 0; i < 2; i++ {
+		go func() {
+			if tk2, err := s.Acquire(context.Background(), Request{}); err == nil {
+				tk2.Release()
+			}
+		}()
+	}
+	waitFor(t, func() bool { return s.Stats().Waiting == 2 })
+
+	_, err = s.Acquire(context.Background(), Request{})
+	var adm *AdmissionError
+	if !errors.As(err, &adm) {
+		t.Fatalf("err = %v, want *AdmissionError", err)
+	}
+	if adm.Reason != ReasonQueueFull {
+		t.Fatalf("reason = %v, want queue full", adm.Reason)
+	}
+	if !adm.Retryable() {
+		t.Fatal("queue-full shed must be retryable")
+	}
+	if adm.Queued != 2 || adm.Running != 1 {
+		t.Fatalf("occupancy in error = %d queued %d running", adm.Queued, adm.Running)
+	}
+	if s.Stats().Shed != 1 {
+		t.Fatalf("shed = %d, want 1", s.Stats().Shed)
+	}
+	tk.Release()
+}
+
+func TestLeaseAccountingNeverOvershoots(t *testing.T) {
+	const pool = 1000
+	s := New(Config{Pool: pool, MaxConcurrent: 4, Clock: testClock()})
+	a, err := s.Acquire(context.Background(), Request{Lease: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lease() != 600 {
+		t.Fatalf("lease = %d, want 600", a.Lease())
+	}
+	// 400 free: a 600-request is reduced to the free amount (>= min
+	// grant of 150) instead of waiting — spill pressure, not queueing.
+	b, err := s.Acquire(context.Background(), Request{Lease: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lease() != 400 {
+		t.Fatalf("reduced lease = %d, want 400", b.Lease())
+	}
+	st := s.Stats()
+	if st.LeaseBytes != pool || st.LeasePeak != pool || st.Reduced != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LeasePeak > pool {
+		t.Fatalf("lease peak %d overshoots pool %d", st.LeasePeak, pool)
+	}
+	a.Release()
+	b.Release()
+	st = s.Stats()
+	if st.LeaseBytes != 0 {
+		t.Fatalf("outstanding leases after release = %d", st.LeaseBytes)
+	}
+}
+
+func TestLeaseDefaultsToPoolShare(t *testing.T) {
+	s := New(Config{Pool: 800, MaxConcurrent: 4, Clock: testClock()})
+	tk, err := s.Acquire(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Release()
+	if tk.Lease() != 200 {
+		t.Fatalf("default lease = %d, want pool/maxConcurrent = 200", tk.Lease())
+	}
+
+	u := New(Config{Pool: 800, Clock: testClock()})
+	tk2, err := u.Acquire(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk2.Release()
+	if tk2.Lease() != 100 {
+		t.Fatalf("default lease = %d, want pool/8 = 100", tk2.Lease())
+	}
+}
+
+func TestOversizedRequestClampedToPool(t *testing.T) {
+	s := New(Config{Pool: 100, Clock: testClock()})
+	tk, err := s.Acquire(context.Background(), Request{Lease: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Lease() != 100 {
+		t.Fatalf("lease = %d, want clamped to pool 100", tk.Lease())
+	}
+	tk.Release()
+}
+
+func TestWeightedRoundRobinFavorsHigh(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, QueueDepth: 64, Clock: testClock()})
+	gate, err := s.Acquire(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park 8 high and 8 low waiters, then record dequeue order.
+	type done struct {
+		prio Priority
+		idx  int
+	}
+	var mu sync.Mutex
+	var order []done
+	var wg sync.WaitGroup
+	park := func(p Priority, idx, parked int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := s.Acquire(context.Background(), Request{Priority: p})
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			mu.Lock()
+			order = append(order, done{p, idx})
+			mu.Unlock()
+			tk.Release()
+		}()
+		waitFor(t, func() bool { return s.Stats().Waiting == parked })
+	}
+	n := 0
+	for i := 0; i < 8; i++ {
+		n++
+		park(PriorityLow, i, n)
+		n++
+		park(PriorityHigh, i, n)
+	}
+
+	gate.Release()
+	wg.Wait()
+
+	// In the first 5 grants, high (weight 4) must outnumber low
+	// (weight 1) 4:1.
+	high := 0
+	for _, d := range order[:5] {
+		if d.prio == PriorityHigh {
+			high++
+		}
+	}
+	if high != 4 {
+		t.Fatalf("first 5 grants had %d high-priority, want 4 (order %v)", high, order)
+	}
+	// FIFO within a class.
+	lastIdx := map[Priority]int{PriorityHigh: -1, PriorityLow: -1}
+	for _, d := range order {
+		if d.idx <= lastIdx[d.prio] {
+			t.Fatalf("class %v dequeued out of FIFO order: %v", d.prio, order)
+		}
+		lastIdx[d.prio] = d.idx
+	}
+}
+
+func TestHeadOfLineBlockingPreventsStarvation(t *testing.T) {
+	// hog leases 800 of 1000; big (wants 1000, min grant 250 > 200
+	// free) blocks at the head of the queue.
+	s := New(Config{Pool: 1000, MaxConcurrent: 8, QueueDepth: 8, Clock: testClock()})
+	hog, err := s.Acquire(context.Background(), Request{Lease: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	acquire := func(lease int64, parked int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := s.Acquire(context.Background(), Request{Lease: lease})
+			if err != nil {
+				t.Errorf("acquire %d: %v", lease, err)
+				return
+			}
+			tk.Release()
+		}()
+		waitFor(t, func() bool { return s.Stats().Waiting == parked })
+	}
+	acquire(1000, 1) // blocked head
+	acquire(10, 2)   // would fit in the 200 free bytes...
+
+	// ...but must NOT jump the pool past the blocked head: both stay
+	// queued while the hog holds its lease, even though 200B are free.
+	time.Sleep(20 * time.Millisecond)
+	if st := s.Stats(); st.Running != 1 || st.Waiting != 2 {
+		t.Fatalf("small request jumped the blocked head: %+v", st)
+	}
+
+	hog.Release()
+	wg.Wait()
+	if st := s.Stats(); st.Admitted != 3 || st.LeaseBytes != 0 {
+		t.Fatalf("stats after drain-down = %+v", st)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, Clock: testClock()})
+	tk, err := s.Acquire(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, Request{})
+		errc <- err
+	}()
+	waitFor(t, func() bool { return s.Stats().Waiting == 1 })
+	cancel()
+	err = <-errc
+	var adm *AdmissionError
+	if !errors.As(err, &adm) || adm.Reason != ReasonCanceled {
+		t.Fatalf("err = %v, want canceled AdmissionError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v must wrap context.Canceled", err)
+	}
+	if st := s.Stats(); st.Waiting != 0 {
+		t.Fatalf("waiter leaked: %+v", st)
+	}
+}
+
+func TestDrainShedsQueuedAndLateArrivals(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, Clock: testClock()})
+	running, err := s.Acquire(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(context.Background(), Request{})
+		queuedErr <- err
+	}()
+	waitFor(t, func() bool { return s.Stats().Waiting == 1 })
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	// The parked waiter is shed immediately with ReasonDraining.
+	var adm *AdmissionError
+	if err := <-queuedErr; !errors.As(err, &adm) || adm.Reason != ReasonDraining {
+		t.Fatalf("queued waiter got %v, want draining AdmissionError", err)
+	}
+	if adm.Retryable() {
+		t.Fatal("draining shed must NOT be retryable")
+	}
+
+	// Late arrivals shed too.
+	if _, err := s.Acquire(context.Background(), Request{}); !errors.As(err, &adm) || adm.Reason != ReasonDraining {
+		t.Fatalf("late arrival got %v, want draining AdmissionError", err)
+	}
+
+	// Drain waits for the in-flight query...
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v before the running query released", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	running.Release()
+	if err := <-drained; err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+	if !s.Draining() {
+		t.Fatal("scheduler must stay draining after Drain returns")
+	}
+}
+
+func TestDrainCancelsAtDeadline(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2, Clock: testClock()})
+	qctx, qcancel := context.WithCancel(context.Background())
+	tk, err := s.Acquire(context.Background(), Request{Cancel: qcancel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the query: it releases its ticket only when cancelled.
+	go func() {
+		<-qctx.Done()
+		tk.Release()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain returned %v, want deadline exceeded", err)
+	}
+	if st := s.Stats(); st.Running != 0 || st.LeaseBytes != 0 {
+		t.Fatalf("drain returned with work outstanding: %+v", st)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	s := New(Config{Pool: 100, MaxConcurrent: 1, Clock: testClock()})
+	tk, err := s.Acquire(context.Background(), Request{Lease: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Release()
+	tk.Release()
+	var nilTk *Ticket
+	nilTk.Release() // nil-safe
+	if st := s.Stats(); st.Running != 0 || st.LeaseBytes != 0 {
+		t.Fatalf("double release corrupted accounting: %+v", st)
+	}
+}
+
+func TestConcurrentChurnKeepsInvariants(t *testing.T) {
+	const pool = 4096
+	s := New(Config{Pool: pool, MaxConcurrent: 6, QueueDepth: 32, Clock: testClock()})
+	var wg sync.WaitGroup
+	var admitted, shed atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tk, err := s.Acquire(context.Background(), Request{
+				Priority: Priority(i % 3),
+				Lease:    int64(64 + i*13),
+			})
+			if err != nil {
+				var adm *AdmissionError
+				if !errors.As(err, &adm) {
+					t.Errorf("non-admission error: %v", err)
+				}
+				shed.Add(1)
+				return
+			}
+			admitted.Add(1)
+			tk.Release()
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.LeasePeak > pool {
+		t.Fatalf("lease peak %d overshoots pool %d", st.LeasePeak, pool)
+	}
+	if st.Running != 0 || st.Waiting != 0 || st.LeaseBytes != 0 {
+		t.Fatalf("scheduler not quiescent: %+v", st)
+	}
+	if got := admitted.Load() + shed.Load(); got != 64 {
+		t.Fatalf("accounted %d of 64 queries", got)
+	}
+	if st.Admitted != admitted.Load() || st.Shed != shed.Load() {
+		t.Fatalf("stats %+v disagree with callers (admitted %d shed %d)", st, admitted.Load(), shed.Load())
+	}
+}
+
+// waitFor polls until cond holds, failing the test after a generous
+// deadline. The scheduler has no test hooks into goroutine parking, so
+// ordering-sensitive tests sequence themselves on observable stats.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
