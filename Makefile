@@ -9,7 +9,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 FUDJVET = bin/fudjvet
 
-.PHONY: all vet fudjvet build test race chaos chaos-recovery stress fuzz staticcheck govulncheck lint-fix-check ci
+.PHONY: all vet fudjvet build test race chaos chaos-recovery stress serve-chaos fuzz staticcheck govulncheck lint-fix-check ci
 
 all: build
 
@@ -60,6 +60,17 @@ chaos-recovery:
 stress:
 	$(GO) test -race -run 'Stress|Sched|Admission|Lease|Drain|Timeout|Priority|ConcurrentExecute|SmartThetaConcurrent|SmartThetaBarrierLoss' \
 		./internal/sched/ ./internal/engine/ ./internal/bench/
+
+# serve-chaos runs the network serving suite under the race detector:
+# the frame protocol (CRC corruption, truncation, oversize), the error
+# envelope taxonomy round-trip, session replay/expiry, the full
+# client/server integration tests, the seeded network chaos
+# convergence run (accept refusal, mid-response resets, byte
+# corruption, stalls), daemon drain under open-loop load, the
+# drain-vs-recovery race, and the through-the-wire stress storm.
+serve-chaos:
+	$(GO) test -race -run 'Serve|Frame|Session|Envelope|Taxonomy|Shed|RemoteError|DrainRaces|DrainCancels|StressOverNetwork' \
+		./internal/serve/ ./internal/serve/client/ ./internal/engine/ ./internal/bench/
 
 # fuzz smoke-runs every native fuzz target briefly. The committed
 # corpora under testdata/fuzz/ also run as regression seeds in plain

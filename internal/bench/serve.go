@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"time"
+
+	"fudj/internal/serve"
+	"fudj/internal/serve/client"
+)
+
+// The serve experiment prices the network boundary: the same three
+// example joins, run in-process and then through a real fudjd over
+// loopback TCP, closed-loop so the measured gap is pure serving cost —
+// HTTP round trip, frame encode/decode, CRC, and result re-batching —
+// not queueing.
+
+// serveQueries are the three demo joins at experiment scale.
+var serveQueries = []struct{ name, sql string }{
+	{"spatial", `SELECT COUNT(*) FROM parks p, wildfires w
+		WHERE spatial_join(p.boundary, w.location, 16)`},
+	{"interval", `SELECT n1.id, n2.id FROM nyctaxi n1, nyctaxi n2
+		WHERE n1.vendor = 1 AND n2.vendor = 2
+		AND overlapping_interval(n1.ride_interval, n2.ride_interval, 100)`},
+	{"textsim", `SELECT COUNT(*) FROM amazonreview r1, amazonreview r2
+		WHERE r1.overall = 5 AND r2.overall = 4
+		AND text_similarity_join(r1.review, r2.review, 0.8)`},
+}
+
+// quantile returns the q-quantile of sorted durations.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// measure runs f n times and returns sorted per-call latencies.
+func measure(n int, f func() error) ([]time.Duration, error) {
+	lats := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return nil, err
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats, nil
+}
+
+func runServeExperiment(cfg Config, w io.Writer) error {
+	e, err := newEnv(cfg, cfg.scaled(60), cfg.scaled(150), cfg.scaled(150), cfg.scaled(100))
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{DB: e.db})
+	if err != nil {
+		return err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(lis)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+	cli, err := client.New(client.Config{
+		BaseURL:     "http://" + lis.Addr().String(),
+		Session:     "bench",
+		QueryPrefix: "sv",
+		MaxAttempts: 1,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	const warmups, iters = 3, 20
+	rows := make([][]string, 0, len(serveQueries))
+	for _, q := range serveQueries {
+		local := func() error { _, err := e.db.Execute(q.sql); return err }
+		remote := func() error { _, err := cli.Query(context.Background(), q.sql); return err }
+		for i := 0; i < warmups; i++ {
+			if err := local(); err != nil {
+				return fmt.Errorf("%s warmup: %w", q.name, err)
+			}
+			if err := remote(); err != nil {
+				return fmt.Errorf("%s remote warmup: %w", q.name, err)
+			}
+		}
+		lloc, err := measure(iters, local)
+		if err != nil {
+			return fmt.Errorf("%s local: %w", q.name, err)
+		}
+		lrem, err := measure(iters, remote)
+		if err != nil {
+			return fmt.Errorf("%s remote: %w", q.name, err)
+		}
+		p50l, p50r := quantile(lloc, 0.5), quantile(lrem, 0.5)
+		overhead := p50r - p50l
+		rows = append(rows, []string{
+			q.name,
+			fmtDur(p50l), fmtDur(quantile(lloc, 0.95)),
+			fmtDur(p50r), fmtDur(quantile(lrem, 0.95)),
+			fmtDur(overhead),
+		})
+	}
+	fmt.Fprintf(w, "serving overhead, closed loop, %d iters after %d warmups, loopback TCP:\n", iters, warmups)
+	printTable(w, []string{"join", "local p50", "local p95", "wire p50", "wire p95", "p50 overhead"}, rows)
+	fmt.Fprintf(w, "  bytes out %d over %d queries\n",
+		srv.Counters().BytesOut, srv.Counters().Queries)
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "serve",
+		Title: "Extra: per-query serving overhead of fudjd vs in-process execution",
+		Paper: "not in the paper; serving experiment — closed-loop latency of the three example joins through the wire protocol vs direct engine calls",
+		Run:   runServeExperiment,
+	})
+}

@@ -7,10 +7,13 @@ import (
 	"hash/fnv"
 	"io"
 	"math/rand"
+	"net"
 	"sync"
 	"time"
 
 	"fudj"
+	"fudj/internal/serve"
+	"fudj/internal/serve/client"
 )
 
 // The stress experiment drives the admission-controlled scheduler the
@@ -40,6 +43,7 @@ type StressConfig struct {
 	Timeout       time.Duration // per-query deadline; 0 = none
 	PoisonEvery   int           // every Nth arrival runs the panicking UDF; 0 = never
 	Faults        bool          // arm probabilistic crash injection during the storm
+	Net           bool          // drive the storm through a real fudjd over loopback TCP
 	Seed          int64
 	Nodes, Cores  int
 	Scale         float64 // dataset scale multiplier
@@ -201,6 +205,70 @@ func RunStress(cfg StressConfig, w io.Writer) (*StressReport, error) {
 		db.SetFaultConfig(&fudj.FaultConfig{Seed: cfg.Seed + 99, CrashProb: 0.03})
 	}
 
+	// With Net set, the storm crosses a real loopback TCP socket into
+	// an in-process fudjd: every query pays frame encode/decode, CRC,
+	// and HTTP round-trip cost, and drain semantics are the server's.
+	// MaxAttempts stays 1 so the open-loop arrival process is preserved
+	// — a shed arrival is a shed arrival, not a client-side retry loop.
+	var (
+		srv *serve.Server
+		cli *client.Client
+	)
+	if cfg.Net {
+		srv, err = serve.New(serve.Config{DB: db})
+		if err != nil {
+			return nil, err
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go srv.Serve(lis)
+		cli, err = client.New(client.Config{
+			BaseURL:     "http://" + lis.Addr().String(),
+			Session:     "stress",
+			QueryPrefix: "st",
+			MaxAttempts: 1,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			cli.Close()
+			sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer scancel()
+			srv.Shutdown(sctx)
+		}()
+	}
+
+	// runQuery executes one arrival in-process or over the wire and
+	// normalizes the answer to (rows, queue wait, error).
+	runQuery := func(sql string, prio fudj.Priority, timeout time.Duration) ([]fudj.Record, time.Duration, error) {
+		if cli != nil {
+			ctx := context.Background()
+			if timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			res, err := cli.Query(ctx, sql, client.WithPriority(prio))
+			if err != nil {
+				return nil, 0, err
+			}
+			return res.Rows, res.Sched.QueueWait, nil
+		}
+		opts := []fudj.ExecOption{fudj.WithPriority(prio)}
+		if timeout > 0 {
+			opts = append(opts, fudj.WithQueryTimeout(timeout))
+		}
+		res, err := db.Execute(sql, opts...)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Rows, res.Sched.QueueWait, nil
+	}
+
 	// Pre-generate the whole arrival schedule deterministically from
 	// the seed before launching anything.
 	type arrival struct {
@@ -238,11 +306,7 @@ func RunStress(cfg StressConfig, w io.Writer) (*StressReport, error) {
 			if a.class >= 0 {
 				sql, base = classes[a.class].sql, classes[a.class].base
 			}
-			opts := []fudj.ExecOption{fudj.WithPriority(a.prio)}
-			if cfg.Timeout > 0 {
-				opts = append(opts, fudj.WithQueryTimeout(cfg.Timeout))
-			}
-			res, err := db.Execute(sql, opts...)
+			rows, queueWait, err := runQuery(sql, a.prio, cfg.Timeout)
 
 			mu.Lock()
 			defer mu.Unlock()
@@ -255,7 +319,10 @@ func RunStress(cfg StressConfig, w io.Writer) (*StressReport, error) {
 				if !fudj.IsRetryable(err) && adm.Reason != fudj.ReasonDraining {
 					rep.BadShed++
 				}
-			case errors.As(err, &tmo):
+			case errors.As(err, &tmo),
+				cfg.Timeout > 0 && errors.Is(err, context.DeadlineExceeded):
+				// Over the wire the client's own deadline can fire before
+				// the server's structured TimeoutError makes it back.
 				rep.TimedOut++
 			case a.class < 0:
 				// Poison queries must die to the UDF panic (unless they
@@ -269,11 +336,11 @@ func RunStress(cfg StressConfig, w io.Writer) (*StressReport, error) {
 				rep.Failed++
 			default:
 				rep.Completed++
-				if multisetHash(res.Rows) != base {
+				if multisetHash(rows) != base {
 					rep.Mismatched++
 				}
-				if res.Sched.QueueWait > rep.MaxQueueWait {
-					rep.MaxQueueWait = res.Sched.QueueWait
+				if queueWait > rep.MaxQueueWait {
+					rep.MaxQueueWait = queueWait
 				}
 			}
 		}(a)
@@ -284,11 +351,19 @@ func RunStress(cfg StressConfig, w io.Writer) (*StressReport, error) {
 	rep.ShedRate = float64(rep.Shed) / float64(rep.Queries)
 
 	// Graceful drain with a generous deadline, then probe that late
-	// arrivals are refused for good.
+	// arrivals are refused for good. In net mode both go through the
+	// daemon: Drain gates the HTTP front door before draining the
+	// engine, and the probe must see the drain refusal over the wire.
 	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	rep.DrainErr = db.Drain(dctx)
-	_, lateErr := db.Execute(classes[0].sql)
+	var lateErr error
+	if srv != nil {
+		rep.DrainErr = srv.Drain(dctx)
+		_, lateErr = cli.Query(context.Background(), classes[0].sql)
+	} else {
+		rep.DrainErr = db.Drain(dctx)
+		_, lateErr = db.Execute(classes[0].sql)
+	}
 	var adm *fudj.AdmissionError
 	rep.LateShed = errors.As(lateErr, &adm) && adm.Reason == fudj.ReasonDraining
 
@@ -299,8 +374,12 @@ func RunStress(cfg StressConfig, w io.Writer) (*StressReport, error) {
 }
 
 func printStress(w io.Writer, cfg StressConfig, rep *StressReport) {
-	fmt.Fprintf(w, "open-loop storm: %d arrivals, %d slots, queue %d, pool %s, ask %s\n",
-		rep.Queries, cfg.MaxConcurrent, cfg.QueueDepth, fmtBytes(rep.Pool), fmtBytes(cfg.Budget))
+	transport := "in-process"
+	if cfg.Net {
+		transport = "loopback TCP via fudjd"
+	}
+	fmt.Fprintf(w, "open-loop storm (%s): %d arrivals, %d slots, queue %d, pool %s, ask %s\n",
+		transport, rep.Queries, cfg.MaxConcurrent, cfg.QueueDepth, fmtBytes(rep.Pool), fmtBytes(cfg.Budget))
 	printTable(w, []string{"outcome", "count"}, [][]string{
 		{"completed (multiset-verified)", fmt.Sprint(rep.Completed)},
 		{"shed (retryable)", fmt.Sprint(rep.Shed)},
@@ -342,14 +421,27 @@ func init() {
 		Paper: "not in the paper; robustness experiment — mixed joins offered faster than the cluster absorbs, against a shared memory pool",
 		Run:   runStressExperiment,
 	})
+	register(Experiment{
+		ID:    "stress-net",
+		Title: "Extra: the same open-loop overload through fudjd over loopback TCP",
+		Paper: "not in the paper; serving experiment — every arrival pays frame encode/decode, CRC, and an HTTP round trip, and drain is the daemon's",
+		Run: func(cfg Config, w io.Writer) error {
+			return runStress(cfg, w, true)
+		},
+	})
 }
 
 func runStressExperiment(cfg Config, w io.Writer) error {
+	return runStress(cfg, w, false)
+}
+
+func runStress(cfg Config, w io.Writer, overNet bool) error {
 	sc := DefaultStressConfig()
 	sc.Queries = cfg.scaled(240)
 	sc.Nodes, sc.Cores = cfg.Nodes, cfg.Cores
 	sc.Seed = cfg.Seed
 	sc.Scale = cfg.Scale * 0.5 // per-query work stays small; volume is the point
+	sc.Net = overNet
 	rep, err := RunStress(sc, w)
 	if err != nil {
 		return err

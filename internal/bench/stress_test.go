@@ -123,3 +123,54 @@ func TestStressTimeoutsClassify(t *testing.T) {
 		t.Errorf("%d surviving queries mismatched", rep.Mismatched)
 	}
 }
+
+// TestStressOverNetwork drives the same storm through a real fudjd
+// over loopback TCP (MaxAttempts=1 preserves the open loop): every
+// invariant the in-process storm guarantees must survive the network
+// boundary — structured classification of every wire error, multiset
+// fidelity through frame encode/decode, and a daemon-side drain that
+// refuses late arrivals over HTTP.
+func TestStressOverNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+
+	cfg := DefaultStressConfig()
+	cfg.Queries = 120
+	cfg.Net = true
+	rep, err := RunStress(cfg, nil)
+	if err != nil {
+		t.Fatalf("RunStress: %v", err)
+	}
+	if got := rep.Completed + rep.Shed + rep.Poisoned + rep.TimedOut + rep.Failed; got != rep.Queries {
+		t.Errorf("outcomes sum to %d, want %d arrivals", got, rep.Queries)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("%d queries failed with unexpected errors over the wire", rep.Failed)
+	}
+	if rep.Mismatched != 0 {
+		t.Errorf("%d completed queries mismatched after frame decode", rep.Mismatched)
+	}
+	if rep.BadShed != 0 {
+		t.Errorf("%d wire sheds were not retryable", rep.BadShed)
+	}
+	if rep.Completed == 0 {
+		t.Error("nothing completed through the daemon")
+	}
+	if rep.LeasePeak > rep.Pool {
+		t.Errorf("lease peak %d overshot pool %d behind the daemon", rep.LeasePeak, rep.Pool)
+	}
+	if rep.DrainErr != nil {
+		t.Errorf("daemon drain was forced: %v", rep.DrainErr)
+	}
+	if !rep.LateShed {
+		t.Error("post-drain wire arrival was not refused with ReasonDraining")
+	}
+	if entries, err := os.ReadDir(tmp); err == nil {
+		for _, e := range entries {
+			t.Errorf("orphaned temp entry after network storm: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Network fault injection, in the internal/cluster fault style:
+// deterministic, seeded, probability-driven. A ChaosListener wraps the
+// server's real listener and damages traffic on the way out —
+// refused accepts, mid-response connection resets, single-byte
+// corruption, and stalls — so the chaos suite can prove the client's
+// retry loop converges to correct results over a hostile network.
+//
+// Only the server->client direction (Write) is damaged. Corrupting
+// Reads would rewrite the client's SQL before execution, turning a
+// transport fault into a semantic one that no checksum on the response
+// could catch; real deployments put the request CRC in the client,
+// which is out of scope for this simulator.
+package serve
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ChaosConfig enables network fault injection. Probabilities are per
+// event: AcceptRefuseProb per accepted connection, the rest per Write
+// call on a damaged connection.
+type ChaosConfig struct {
+	// Seed makes the fault sequence replayable.
+	Seed int64
+	// AcceptRefuseProb closes a just-accepted connection immediately
+	// (the client sees a reset before any response).
+	AcceptRefuseProb float64
+	// ResetProb closes the connection mid-write, truncating a response.
+	ResetProb float64
+	// CorruptProb flips one byte of a write (the frame CRC must catch it).
+	CorruptProb float64
+	// StallProb delays a write by Stall (a stalled, not dead, peer).
+	StallProb float64
+	// Stall is the injected delay; <=0 selects 50ms.
+	Stall time.Duration
+}
+
+// ChaosStats counts injected faults.
+type ChaosStats struct {
+	Accepts  int64 // connections accepted
+	Refused  int64 // accept-refused connections
+	Resets   int64 // mid-write resets
+	Corrupts int64 // corrupted writes
+	Stalls   int64 // stalled writes
+}
+
+// ChaosListener is a net.Listener that damages outbound traffic.
+type ChaosListener struct {
+	net.Listener
+	cfg ChaosConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats ChaosStats
+}
+
+// NewChaosListener wraps l with seeded fault injection.
+func NewChaosListener(l net.Listener, cfg ChaosConfig) *ChaosListener {
+	if cfg.Stall <= 0 {
+		cfg.Stall = 50 * time.Millisecond
+	}
+	return &ChaosListener{Listener: l, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the injected-fault counters.
+func (cl *ChaosListener) Stats() ChaosStats {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.stats
+}
+
+// roll draws one probability decision from the shared seeded stream.
+func (cl *ChaosListener) roll(p float64, hit *int64) bool {
+	if p <= 0 {
+		return false
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.rng.Float64() >= p {
+		return false
+	}
+	*hit++
+	return true
+}
+
+// Accept implements net.Listener.
+func (cl *ChaosListener) Accept() (net.Conn, error) {
+	for {
+		c, err := cl.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		cl.mu.Lock()
+		cl.stats.Accepts++
+		cl.mu.Unlock()
+		if cl.roll(cl.cfg.AcceptRefuseProb, &cl.stats.Refused) {
+			c.Close()
+			continue
+		}
+		return &chaosConn{Conn: c, lis: cl}, nil
+	}
+}
+
+// chaosConn damages writes per its listener's config.
+type chaosConn struct {
+	net.Conn
+	lis *ChaosListener
+}
+
+// Write implements net.Conn, possibly stalling, resetting, or
+// corrupting the outbound bytes.
+func (c *chaosConn) Write(b []byte) (int, error) {
+	cl := c.lis
+	if cl.roll(cl.cfg.StallProb, &cl.stats.Stalls) {
+		time.Sleep(cl.cfg.Stall)
+	}
+	if cl.roll(cl.cfg.ResetProb, &cl.stats.Resets) {
+		// Write part of the buffer, then kill the connection: the
+		// client sees a truncated response (io.ErrUnexpectedEOF mid-
+		// frame), not a clean close.
+		n := len(b) / 2
+		if n > 0 {
+			c.Conn.Write(b[:n])
+		}
+		c.Conn.Close()
+		return n, net.ErrClosed
+	}
+	if cl.roll(cl.cfg.CorruptProb, &cl.stats.Corrupts) && len(b) > 0 {
+		damaged := make([]byte, len(b))
+		copy(damaged, b)
+		cl.mu.Lock()
+		i := cl.rng.Intn(len(damaged))
+		cl.mu.Unlock()
+		damaged[i] ^= 0x20
+		return c.Conn.Write(damaged)
+	}
+	return c.Conn.Write(b)
+}

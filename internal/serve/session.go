@@ -1,0 +1,167 @@
+// Session-scoped catalogs and the idempotent replay cache. A session
+// is named by the client (HeaderSession) and created on first use; it
+// tracks the catalog objects the session's DDL created (SELECT INTO
+// datasets, CREATE JOIN definitions) so an expired session's objects
+// are swept from the shared catalog, and it records completed query
+// responses keyed by client query ID so a retry whose original
+// response was lost replays bytes instead of executing twice.
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultSessionIdle is how long a session may sit idle before the
+// janitor expires it.
+const DefaultSessionIdle = 15 * time.Minute
+
+// DefaultReplayCap bounds the completed-response records one session
+// retains for idempotent replay. Oldest records are evicted first; a
+// retry arriving after eviction re-executes (safe for SELECT, and the
+// horizon is deliberately much longer than any sane retry policy).
+const DefaultReplayCap = 256
+
+// queryRecord is one query ID's lifecycle under a session: created at
+// first arrival, closed (done) when the response bytes are recorded.
+// A retry for the same ID waits on done and replays frames.
+type queryRecord struct {
+	done   chan struct{}
+	frames []byte // the full recorded response stream
+	execs  int    // times the query actually executed (must stay 1)
+}
+
+// session is one client session.
+type session struct {
+	id       string
+	lastUsed time.Time
+
+	datasets []string // SELECT INTO datasets this session created
+	joins    []string // CREATE JOIN definitions this session created
+
+	replay map[string]*queryRecord
+	order  []string // replay insertion order, for eviction
+}
+
+// sessions is the registry. All methods are safe for concurrent use.
+type sessions struct {
+	mu        sync.Mutex
+	byID      map[string]*session
+	idle      time.Duration
+	replayCap int
+}
+
+func newSessions(idle time.Duration, replayCap int) *sessions {
+	if idle <= 0 {
+		idle = DefaultSessionIdle
+	}
+	if replayCap <= 0 {
+		replayCap = DefaultReplayCap
+	}
+	return &sessions{byID: make(map[string]*session), idle: idle, replayCap: replayCap}
+}
+
+// touch returns the named session, creating it if needed, and stamps
+// its last-used time.
+func (ss *sessions) touch(id string, now time.Time) *session {
+	if id == "" {
+		id = "default"
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	s := ss.byID[id]
+	if s == nil {
+		s = &session{id: id, replay: make(map[string]*queryRecord)}
+		ss.byID[id] = s
+	}
+	s.lastUsed = now
+	return s
+}
+
+// count reports the live session count.
+func (ss *sessions) count() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.byID)
+}
+
+// beginQuery claims a query ID under a session. The first caller gets
+// (record, true) and must execute the query, then finish() the record;
+// later callers get (record, false) and must wait on record.done, then
+// replay record.frames. An empty ID disables idempotency: the caller
+// gets a fresh untracked record.
+func (ss *sessions) beginQuery(s *session, queryID string) (*queryRecord, bool) {
+	if queryID == "" {
+		return &queryRecord{done: make(chan struct{})}, true
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if rec, ok := s.replay[queryID]; ok {
+		return rec, false
+	}
+	rec := &queryRecord{done: make(chan struct{})}
+	s.replay[queryID] = rec
+	s.order = append(s.order, queryID)
+	for len(s.order) > ss.replayCap {
+		evict := s.order[0]
+		s.order = s.order[1:]
+		delete(s.replay, evict)
+	}
+	return rec, true
+}
+
+// finish publishes a record's response bytes and wakes replayers.
+func (rec *queryRecord) finish(frames []byte) {
+	rec.frames = frames
+	close(rec.done)
+}
+
+// trackDataset/trackJoin note catalog objects the session created, so
+// expiry can drop them.
+func (ss *sessions) trackDataset(s *session, name string) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	s.datasets = append(s.datasets, name)
+}
+
+func (ss *sessions) trackJoin(s *session, name string) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	s.joins = append(s.joins, name)
+}
+
+// untrackJoin removes a dropped join from every session's tracking (a
+// DROP JOIN may come from a different session than the CREATE).
+func (ss *sessions) untrackJoin(name string) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for _, s := range ss.byID {
+		for i, j := range s.joins {
+			if j == name {
+				s.joins = append(s.joins[:i], s.joins[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// expired removes and returns every session idle past the deadline, in
+// deterministic (sorted) order so sweep side effects replay stably.
+func (ss *sessions) expired(now time.Time) []*session {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var ids []string
+	for id, s := range ss.byID {
+		if now.Sub(s.lastUsed) >= ss.idle {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	out := make([]*session, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, ss.byID[id])
+		delete(ss.byID, id)
+	}
+	return out
+}

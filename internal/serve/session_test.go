@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+var sessionEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSessionReplayLifecycle(t *testing.T) {
+	ss := newSessions(time.Minute, 4)
+	sess := ss.touch("s1", sessionEpoch)
+
+	rec, first := ss.beginQuery(sess, "q1")
+	if !first {
+		t.Fatal("first arrival must execute")
+	}
+	again, firstAgain := ss.beginQuery(sess, "q1")
+	if firstAgain {
+		t.Fatal("second arrival must replay, not execute")
+	}
+	if again != rec {
+		t.Fatal("both arrivals must share one record")
+	}
+	select {
+	case <-again.done:
+		t.Fatal("done before finish")
+	default:
+	}
+	rec.finish([]byte("response"))
+	<-again.done
+	if string(again.frames) != "response" {
+		t.Fatalf("replayed frames %q", again.frames)
+	}
+}
+
+func TestSessionReplayUntrackedWithoutID(t *testing.T) {
+	ss := newSessions(time.Minute, 4)
+	sess := ss.touch("s1", sessionEpoch)
+	a, firstA := ss.beginQuery(sess, "")
+	b, firstB := ss.beginQuery(sess, "")
+	if !firstA || !firstB {
+		t.Fatal("ID-less queries always execute")
+	}
+	if a == b {
+		t.Fatal("ID-less queries must not share records")
+	}
+}
+
+func TestSessionReplayEviction(t *testing.T) {
+	ss := newSessions(time.Minute, 2)
+	sess := ss.touch("s1", sessionEpoch)
+	for i := 0; i < 3; i++ {
+		rec, first := ss.beginQuery(sess, fmt.Sprintf("q%d", i))
+		if !first {
+			t.Fatalf("q%d should be fresh", i)
+		}
+		rec.finish(nil)
+	}
+	// q0 was evicted: re-arrival executes again (documented horizon).
+	if _, first := ss.beginQuery(sess, "q0"); !first {
+		t.Fatal("evicted record must re-execute")
+	}
+	if _, first := ss.beginQuery(sess, "q2"); first {
+		t.Fatal("retained record must replay")
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	ss := newSessions(time.Minute, 4)
+	// Create in non-alphabetical order; expiry must come back sorted.
+	ss.touch("zeta", sessionEpoch)
+	ss.touch("alpha", sessionEpoch)
+	fresh := ss.touch("fresh", sessionEpoch.Add(59*time.Second))
+	fresh.datasets = append(fresh.datasets, "keepme")
+
+	expired := ss.expired(sessionEpoch.Add(time.Minute))
+	if len(expired) != 2 || expired[0].id != "alpha" || expired[1].id != "zeta" {
+		ids := make([]string, len(expired))
+		for i, s := range expired {
+			ids[i] = s.id
+		}
+		t.Fatalf("expired %v, want [alpha zeta]", ids)
+	}
+	if ss.count() != 1 {
+		t.Fatalf("%d sessions left, want 1", ss.count())
+	}
+	// Expired sessions are really gone: touching recreates empty state.
+	if s := ss.touch("alpha", sessionEpoch.Add(2*time.Minute)); len(s.datasets) != 0 {
+		t.Fatal("recreated session must not inherit old state")
+	}
+}
+
+func TestSessionUntrackJoinAcrossSessions(t *testing.T) {
+	ss := newSessions(time.Minute, 4)
+	a := ss.touch("a", sessionEpoch)
+	b := ss.touch("b", sessionEpoch)
+	ss.trackJoin(a, "j1")
+	ss.trackJoin(b, "j1")
+	ss.trackJoin(b, "j2")
+	ss.untrackJoin("j1")
+	if len(a.joins) != 0 {
+		t.Fatalf("session a still tracks %v", a.joins)
+	}
+	if len(b.joins) != 1 || b.joins[0] != "j2" {
+		t.Fatalf("session b tracks %v, want [j2]", b.joins)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"os"
 	"strings"
 
+	"context"
 	"fudj"
+
 	"fudj/internal/storage"
 	"fudj/internal/trace"
 )
@@ -143,51 +145,45 @@ func printTiming(w io.Writer, res *fudj.Result) {
 		res.Join.CombineTime.Round(1000))
 }
 
-// printTrace renders the span tree behind \trace on. EXPLAIN ANALYZE
-// results already carry the render in their rows, so those are skipped.
-func printTrace(w io.Writer, res *fudj.Result) {
-	if res.Trace == nil {
-		return
-	}
-	if res.Schema != nil && res.Schema.Len() == 1 && res.Schema.Fields[0].Name == "plan" {
-		return
-	}
-	for _, line := range trace.RenderLines(res.Trace, trace.RenderOptions{CollapseTasks: true}) {
+// printTrace prints an outcome's rendered span lines.
+func printTrace(w io.Writer, lines []string) {
+	for _, line := range lines {
 		fmt.Fprintln(w, line)
 	}
 }
 
-// ExecuteAll runs each ';'-separated statement, printing results to w.
-// Exec options (e.g. fudj.Trace()) apply to every statement; when a
-// result carries a trace, the span tree is printed after it.
-func ExecuteAll(db *fudj.DB, w io.Writer, input string, opts ...fudj.ExecOption) error {
+// ExecuteAll runs each ';'-separated statement on the executor,
+// printing results to w. Cancel ctx (or the canceler) to abort the
+// in-flight statement; c may be nil.
+func ExecuteAll(ctx context.Context, ex Executor, w io.Writer, input string, traced bool, c *Canceler) error {
 	for _, stmt := range SplitStatements(input) {
-		res, err := db.Execute(stmt, opts...)
+		out, err := run(ctx, ex, c, stmt, traced)
 		if err != nil {
 			return err
 		}
-		PrintResult(w, res)
-		printTrace(w, res)
+		PrintResult(w, out.Res)
+		printTrace(w, out.TraceLines)
 	}
 	return nil
 }
 
 // ExecuteAllChrome is ExecuteAll plus a Chrome trace-event JSON dump of
 // the last statement's span tree to path, loadable in Perfetto or
-// chrome://tracing.
-func ExecuteAllChrome(db *fudj.DB, w io.Writer, input, path string, opts ...fudj.ExecOption) error {
+// chrome://tracing. In-process only: span trees do not cross the wire.
+func ExecuteAllChrome(ctx context.Context, db *fudj.DB, w io.Writer, input, path string, c *Canceler) error {
+	ex := NewLocal(db)
 	var last *fudj.Result
 	for _, stmt := range SplitStatements(input) {
-		res, err := db.Execute(stmt, opts...)
+		out, err := run(ctx, ex, c, stmt, true)
 		if err != nil {
 			return err
 		}
-		PrintResult(w, res)
-		printTrace(w, res)
-		last = res
+		PrintResult(w, out.Res)
+		printTrace(w, out.TraceLines)
+		last = out.Res
 	}
 	if last == nil || last.Trace == nil {
-		return fmt.Errorf("no trace collected; pass fudj.Trace()")
+		return fmt.Errorf("no trace collected")
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -224,14 +220,29 @@ func saveLoad(db *fudj.DB, cmd string) error {
 	return fmt.Errorf("unknown command %q", parts[0])
 }
 
+// listNames prints a backslash listing or its error.
+func listNames(out io.Writer, names []string, err error) {
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	for _, name := range names {
+		fmt.Fprintln(out, " ", name)
+	}
+}
+
 // Repl runs the interactive loop: statements end with ';', backslash
-// commands inspect the catalog, \q quits.
-func Repl(db *fudj.DB, in io.Reader, out io.Writer) {
+// commands inspect the catalog, \q quits. The canceler (may be nil)
+// lets a signal handler cancel the in-flight statement. The returned
+// error is the last statement failure, nil if the session ended
+// cleanly — script mode uses it for the exit code.
+func Repl(ex Executor, in io.Reader, out io.Writer, c *Canceler) error {
 	fmt.Fprintln(out, "fudjsh — FUDJ engine shell. Statements end with ';'. \\q quits.")
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
 	var traceOn, timingOn bool
+	var lastErr error
 	onOff := func(cmd, arg string) (bool, bool) {
 		switch arg {
 		case "on":
@@ -250,34 +261,48 @@ func Repl(db *fudj.DB, in io.Reader, out io.Writer) {
 		}
 		if !sc.Scan() {
 			fmt.Fprintln(out)
-			return
+			return lastErr
 		}
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		switch trimmed {
 		case `\q`, `\quit`, "exit", "quit":
-			return
+			return lastErr
 		case `\joins`:
-			for _, name := range db.Catalog().Joins() {
-				fmt.Fprintln(out, " ", name)
-			}
+			names, err := ex.Joins()
+			listNames(out, names, err)
 			continue
 		case `\datasets`:
-			for _, name := range db.Catalog().Datasets() {
-				fmt.Fprintln(out, " ", name)
+			names, err := ex.Datasets()
+			listNames(out, names, err)
+			continue
+		case `\metrics`:
+			if r, ok := ex.(*Remote); ok {
+				snap, err := r.Metrics(context.Background())
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+				} else {
+					fmt.Fprintf(out, "sessions=%d live=%d draining=%v queries=%d executed=%d replayed=%d refused=%d\n",
+						snap.Sessions, snap.Live, snap.Draining, snap.Server.Queries,
+						snap.Server.Executed, snap.Server.Replayed, snap.Server.Refused)
+				}
+			} else {
+				fmt.Fprintln(out, "\\metrics requires -connect")
 			}
 			continue
 		case `\help`:
 			fmt.Fprintln(out, `  statements end with ';'
   \datasets            list datasets
   \joins               list installed joins
-  \save <name> <file>  save a dataset to a binary file
-  \load <name> <file>  load a dataset from a binary file
+  \save <name> <file>  save a dataset to a binary file (local only)
+  \load <name> <file>  load a dataset from a binary file (local only)
+  \metrics             show server metrics (-connect only)
   \trace on|off        print the execution span tree after each query
   \timing on|off       print the per-phase time breakdown
   \q                   quit
   EXPLAIN SELECT ... shows the optimizer plan
-  EXPLAIN ANALYZE SELECT ... executes and shows measured per-operator spans`)
+  EXPLAIN ANALYZE SELECT ... executes and shows measured per-operator spans
+  Ctrl-C cancels the in-flight query; a second Ctrl-C exits`)
 			continue
 		}
 		if strings.HasPrefix(trimmed, `\trace`) || strings.HasPrefix(trimmed, `\timing`) {
@@ -297,6 +322,11 @@ func Repl(db *fudj.DB, in io.Reader, out io.Writer) {
 			continue
 		}
 		if strings.HasPrefix(trimmed, `\save `) || strings.HasPrefix(trimmed, `\load `) {
+			db := ex.DB()
+			if db == nil {
+				fmt.Fprintln(out, "error: \\save and \\load need a local database (not available over -connect)")
+				continue
+			}
 			if err := saveLoad(db, trimmed); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			} else {
@@ -309,22 +339,20 @@ func Repl(db *fudj.DB, in io.Reader, out io.Writer) {
 		if strings.Contains(line, ";") {
 			input := pending.String()
 			pending.Reset()
-			var opts []fudj.ExecOption
-			if traceOn {
-				opts = append(opts, fudj.Trace())
-			}
 			for _, stmt := range SplitStatements(input) {
-				res, err := db.Execute(stmt, opts...)
+				res, err := run(context.Background(), ex, c, stmt, traceOn)
 				if err != nil {
 					fmt.Fprintln(out, "error:", err)
+					lastErr = err
 					break
 				}
-				PrintResult(out, res)
+				lastErr = nil
+				PrintResult(out, res.Res)
 				if timingOn {
-					printTiming(out, res)
+					printTiming(out, res.Res)
 				}
 				if traceOn {
-					printTrace(out, res)
+					printTrace(out, res.TraceLines)
 				}
 			}
 		}

@@ -2,6 +2,7 @@ package shell
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -37,9 +38,9 @@ func TestSetupAndExecuteAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	err = ExecuteAll(db, &out, `
+	err = ExecuteAll(context.Background(), NewLocal(db), &out, `
 		SELECT COUNT(*) FROM parks p;
-		SELECT COUNT(*) FROM parks p, wildfires w WHERE spatial_join(p.boundary, w.location, 8);`)
+		SELECT COUNT(*) FROM parks p, wildfires w WHERE spatial_join(p.boundary, w.location, 8);`, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestExecuteAllPropagatesErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ExecuteAll(db, &bytes.Buffer{}, "SELECT * FROM nothing"); err == nil {
+	if err := ExecuteAll(context.Background(), NewLocal(db), &bytes.Buffer{}, "SELECT * FROM nothing", false, nil); err == nil {
 		t.Error("bad statement should error")
 	}
 }
@@ -93,7 +94,7 @@ SELECT broken;
 \q
 `)
 	var out bytes.Buffer
-	Repl(db, in, &out)
+	Repl(NewLocal(db), in, &out, nil)
 	s := out.String()
 	for _, want := range []string{"fudj>", "parks", "spatial_join", "count(1)", "error:"} {
 		if !strings.Contains(s, want) {
@@ -108,7 +109,7 @@ func TestReplEOF(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	Repl(db, strings.NewReader(""), &out) // must return, not hang
+	Repl(NewLocal(db), strings.NewReader(""), &out, nil) // must return, not hang
 	if !strings.Contains(out.String(), "fudj>") {
 		t.Error("no prompt printed")
 	}
@@ -129,7 +130,7 @@ SELECT COUNT(*) FROM parks2 p;
 \q
 `)
 	var out bytes.Buffer
-	Repl(db, in, &out)
+	Repl(NewLocal(db), in, &out, nil)
 	s := out.String()
 	if strings.Count(s, "ok") < 2 {
 		t.Errorf("save/load did not both succeed:\n%s", s)
