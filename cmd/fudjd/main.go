@@ -45,6 +45,7 @@ func run() int {
 		maxConns     = flag.Int("max-conns", 256, "maximum concurrently served connections")
 		maxQueryTime = flag.Duration("max-query-time", 5*time.Minute, "server-side ceiling on one query's execution time (0 = none)")
 		sessionIdle  = flag.Duration("session-idle", serve.DefaultSessionIdle, "idle time before a session's catalog objects are swept")
+		replayBytes  = flag.Int64("replay-bytes", serve.DefaultReplayBytes, "per-session byte budget for recorded replay responses")
 		retryAfter   = flag.Duration("retry-after", 250*time.Millisecond, "retry-after hint attached to shed refusals")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight queries before cancelling them")
 	)
@@ -63,6 +64,7 @@ func run() int {
 		MaxConns:     *maxConns,
 		MaxQueryTime: *maxQueryTime,
 		SessionIdle:  *sessionIdle,
+		ReplayBytes:  *replayBytes,
 		RetryAfter:   *retryAfter,
 		ErrorLog:     logger,
 	})

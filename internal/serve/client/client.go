@@ -84,6 +84,10 @@ type Result struct {
 	TraceLines []string
 	// Attempts is how many tries this query took.
 	Attempts int
+	// Replayed reports that the server answered from its idempotent
+	// replay cache (an earlier attempt's recorded response) rather
+	// than a fresh execution.
+	Replayed bool
 }
 
 // QueryOption tweaks one Query call.
@@ -345,6 +349,7 @@ func decodeResponse(r io.Reader) (*Result, error) {
 					Metrics: t.Metrics,
 				},
 				TraceLines: t.Trace,
+				Replayed:   t.Replayed,
 			}, nil
 		}
 	}

@@ -182,6 +182,35 @@ func EncodeTrailerFrame(t Trailer) []byte {
 	return AppendFrame(nil, FrameTrailer, payload)
 }
 
+// MarkReplayed rewrites a recorded response stream so its trailer
+// frame carries Replayed=true (with a fresh length and CRC); every
+// other frame passes through byte-identical. A stream with no trailer
+// — an error response — or one that fails to parse is returned
+// unchanged.
+func MarkReplayed(frames []byte) []byte {
+	for i := 0; i+frameHeaderSize <= len(frames); {
+		typ := frames[i]
+		length := int(binary.LittleEndian.Uint32(frames[i+1 : i+5]))
+		end := i + frameHeaderSize + length
+		if end > len(frames) {
+			return frames
+		}
+		if typ == FrameTrailer {
+			var t Trailer
+			if err := json.Unmarshal(frames[i+frameHeaderSize:end], &t); err != nil {
+				return frames
+			}
+			t.Replayed = true
+			out := make([]byte, 0, len(frames)+32)
+			out = append(out, frames[:i]...)
+			out = append(out, EncodeTrailerFrame(t)...)
+			return append(out, frames[end:]...)
+		}
+		i = end
+	}
+	return frames
+}
+
 // EncodeErrorFrame encodes a failure as its envelope frame.
 func EncodeErrorFrame(env Envelope) []byte {
 	payload, _ := json.Marshal(env)

@@ -153,3 +153,53 @@ func TestFrameTruncationIsUnexpectedEOF(t *testing.T) {
 		t.Fatalf("empty stream: got %v, want io.EOF", err)
 	}
 }
+
+func TestMarkReplayed(t *testing.T) {
+	schema := testSchema()
+	rows := testRows(5)
+	var stream []byte
+	stream = append(stream, EncodeSchemaFrame(schema)...)
+	stream = append(stream, EncodeBatchFrames(rows)...)
+	stream = append(stream, EncodeTrailerFrame(Trailer{Rows: len(rows), ElapsedNs: 42})...)
+
+	marked := MarkReplayed(stream)
+	typs, payloads := drainFrames(t, marked) // CRCs must still verify
+	if typs[0] != FrameSchema || typs[len(typs)-1] != FrameTrailer {
+		t.Fatalf("frame sequence changed: %v", typs)
+	}
+	tr, err := DecodeTrailerFrame(payloads[len(payloads)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Replayed {
+		t.Fatal("trailer not marked replayed")
+	}
+	if tr.Rows != len(rows) || tr.ElapsedNs != 42 {
+		t.Fatalf("trailer fields mangled: %+v", tr)
+	}
+	// Non-trailer frames pass through byte-identical.
+	prefixLen := len(stream) - len(EncodeTrailerFrame(Trailer{Rows: len(rows), ElapsedNs: 42}))
+	if !bytes.Equal(marked[:prefixLen], stream[:prefixLen]) {
+		t.Fatal("data frames were rewritten")
+	}
+	// The original stream is untouched (records are shared, not copied).
+	origTyps, origPayloads := drainFrames(t, stream)
+	origTr, err := DecodeTrailerFrame(origPayloads[len(origTyps)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origTr.Replayed {
+		t.Fatal("MarkReplayed mutated its input")
+	}
+
+	// An error response has no trailer: returned unchanged.
+	errStream := EncodeErrorFrame(Envelope{Code: CodeInternal, Message: "boom"})
+	if got := MarkReplayed(errStream); !bytes.Equal(got, errStream) {
+		t.Fatal("error stream should pass through unchanged")
+	}
+	// Garbage passes through rather than panicking.
+	junk := []byte{1, 2, 3}
+	if got := MarkReplayed(junk); !bytes.Equal(got, junk) {
+		t.Fatal("unparseable stream should pass through unchanged")
+	}
+}

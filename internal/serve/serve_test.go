@@ -91,34 +91,35 @@ func newClient(t *testing.T, ts *testServer, tweak func(*client.Config)) *client
 }
 
 // decodeFrames drains one raw HTTP response's frame stream into a
-// result, or the decoded error.
-func decodeFrames(resp *http.Response) (*fudj.Result, error) {
+// result and its trailer, or the decoded error.
+func decodeFrames(resp *http.Response) (*fudj.Result, serve.Trailer, error) {
 	fr := serve.NewFrameReader(resp.Body)
 	res := &fudj.Result{}
 	for {
 		typ, payload, err := fr.Next()
 		if err != nil {
-			return nil, err
+			return nil, serve.Trailer{}, err
 		}
 		switch typ {
 		case serve.FrameSchema:
 			if res.Schema, err = serve.DecodeSchemaFrame(payload); err != nil {
-				return nil, err
+				return nil, serve.Trailer{}, err
 			}
 		case serve.FrameBatch:
 			recs, err := types.DecodeRecords(payload)
 			if err != nil {
-				return nil, err
+				return nil, serve.Trailer{}, err
 			}
 			res.Rows = append(res.Rows, recs...)
 		case serve.FrameError:
 			var env serve.Envelope
 			if err := json.Unmarshal(payload, &env); err != nil {
-				return nil, err
+				return nil, serve.Trailer{}, err
 			}
-			return nil, serve.DecodeError(env)
+			return nil, serve.Trailer{}, serve.DecodeError(env)
 		case serve.FrameTrailer:
-			return res, nil
+			t, err := serve.DecodeTrailerFrame(payload)
+			return res, t, err
 		}
 	}
 }
@@ -269,9 +270,12 @@ func TestServeIdempotentReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if res.Replayed {
+		t.Fatal("fresh execution marked replayed")
+	}
 
 	// Re-send the same query ID by hand: the response must replay from
-	// the record without executing again.
+	// the record without executing again, and say so in the trailer.
 	req, err := http.NewRequest(http.MethodPost, ts.base+"/v1/query", strings.NewReader(demoJoinSQL))
 	if err != nil {
 		t.Fatal(err)
@@ -282,12 +286,15 @@ func TestServeIdempotentReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	replayed, err := decodeRows(resp)
+	replayedRes, trailer, err := decodeFrames(resp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sameMultiset(rowKeys(res.Result), replayed) {
+	if !sameMultiset(rowKeys(res.Result), rowKeys(replayedRes)) {
 		t.Fatal("replayed response diverged from the original")
+	}
+	if !trailer.Replayed {
+		t.Fatal("replayed response's trailer does not say Replayed")
 	}
 	if n := ts.srv.ExecCount("", "t-1"); n != 1 {
 		t.Fatalf("query executed %d times, want 1", n)
@@ -295,11 +302,82 @@ func TestServeIdempotentReplay(t *testing.T) {
 	if ctrs := ts.srv.Counters(); ctrs.Replayed != 1 {
 		t.Fatalf("replayed counter = %d, want 1", ctrs.Replayed)
 	}
+	// The exec-count probe is a pure read: no session springs into
+	// being for an unknown name.
+	before := ts.srv.ExecCount("ghost-session", "t-1")
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 0 || snap.Sessions != 1 {
+		t.Fatalf("ExecCount probe mutated state: count=%d sessions=%d", before, snap.Sessions)
+	}
+}
+
+// TestServeRetryableRefusalNotCached pins the retry contract against
+// the replay cache: a retryable refusal (here a drain shed) must NOT
+// be recorded under the query ID, or the client's retry — which reuses
+// the ID by design — would replay the cached failure forever instead
+// of re-executing.
+func TestServeRetryableRefusalNotCached(t *testing.T) {
+	ts := startServer(t, serve.Config{}, nil)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ts.srv.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+
+	send := func() error {
+		req, err := http.NewRequest(http.MethodPost, ts.base+"/v1/query", strings.NewReader(demoJoinSQL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(serve.HeaderQueryID, "r-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _, decErr := decodeFrames(resp)
+		return decErr
+	}
+
+	for attempt := 0; attempt < 2; attempt++ {
+		prevBytes := ts.srv.Counters().BytesOut
+		err := send()
+		var sherr *serve.ShedError
+		if !errors.As(err, &sherr) {
+			t.Fatalf("attempt %d decoded to %T (%v), want ShedError", attempt, err, err)
+		}
+		if !fudj.IsRetryable(err) {
+			t.Fatalf("attempt %d refusal not retryable", attempt)
+		}
+		// The handler's deferred bookkeeping (which forgets the record)
+		// may still be running when the client has the error frame in
+		// hand; wait for it so the next attempt races nothing. A real
+		// retry's backoff dwarfs this window.
+		deadline := time.Now().Add(5 * time.Second)
+		for ts.srv.Counters().BytesOut == prevBytes {
+			if time.Now().After(deadline) {
+				t.Fatal("handler bookkeeping never finished")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Both attempts were refused afresh — neither was served back out
+	// of the replay cache, and no execution record lingers for the ID.
+	ctrs := ts.srv.Counters()
+	if ctrs.Refused != 2 || ctrs.Replayed != 0 {
+		t.Fatalf("refused=%d replayed=%d, want 2 fresh refusals", ctrs.Refused, ctrs.Replayed)
+	}
+	if n := ts.srv.ExecCount("", "r-1"); n != 0 {
+		t.Fatalf("refused query left an execution record (%d)", n)
+	}
 }
 
 // decodeRows drains one response body into sorted row keys.
 func decodeRows(resp *http.Response) ([]string, error) {
-	res, err := decodeFrames(resp)
+	res, _, err := decodeFrames(resp)
 	if err != nil {
 		return nil, err
 	}
@@ -358,7 +436,7 @@ func TestServeProtocolVersionRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	_, decErr := decodeFrames(resp)
+	_, _, decErr := decodeFrames(resp)
 	if decErr == nil {
 		t.Fatal("mismatched protocol must be refused")
 	}

@@ -51,6 +51,9 @@ type Config struct {
 	// ReplayCap bounds per-session idempotent replay records. <=0
 	// selects DefaultReplayCap.
 	ReplayCap int
+	// ReplayBytes bounds per-session recorded response bytes retained
+	// for replay. <=0 selects DefaultReplayBytes.
+	ReplayBytes int64
 	// RetryAfter is the hint attached to shed refusals. <=0 selects
 	// 250ms.
 	RetryAfter time.Duration
@@ -130,7 +133,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		db:       cfg.DB,
 		clock:    cfg.Clock,
-		sessions: newSessions(cfg.SessionIdle, cfg.ReplayCap),
+		sessions: newSessions(cfg.SessionIdle, cfg.ReplayCap, cfg.ReplayBytes),
 		mux:      http.NewServeMux(),
 		fresh:    make(map[net.Conn]struct{}),
 		live:     make(map[int64]*liveQuery),
@@ -272,17 +275,11 @@ func (s *Server) Counters() Counters {
 }
 
 // ExecCount reports how many times the given idempotency key actually
-// executed (0 = unknown key) — the invariant the chaos suite asserts
-// stays at 1 however many times the client retried.
+// executed (0 = unknown session or key) — the invariant the chaos
+// suite asserts stays at 1 however many times the client retried. A
+// pure read: it never creates a session or refreshes its idle stamp.
 func (s *Server) ExecCount(session, queryID string) int {
-	sess := s.sessions.touch(session, s.clock.Now())
-	s.sessions.mu.Lock()
-	defer s.sessions.mu.Unlock()
-	rec, ok := sess.replay[queryID]
-	if !ok {
-		return 0
-	}
-	return rec.execs
+	return s.sessions.execCount(session, queryID)
 }
 
 // registerLive adds an in-flight query to the live view.
@@ -385,20 +382,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !first {
 		// Idempotent resubmission: the query already ran (or is still
 		// running). Wait for its recorded response and replay it — the
-		// retry must never execute the statement a second time.
+		// retry must never execute the statement a second time. The
+		// trailer is rewritten with Replayed=true so the client can see
+		// it got recorded bytes, not a fresh execution.
 		select {
 		case <-rec.done:
 		case <-r.Context().Done():
 			return
 		}
-		s.count(func(c *Counters) { c.Replayed++; c.BytesOut += int64(len(rec.frames)) })
-		w.Write(rec.frames)
+		frames := MarkReplayed(rec.frames)
+		s.count(func(c *Counters) { c.Replayed++; c.BytesOut += int64(len(frames)) })
+		w.Write(frames)
 		return
 	}
 
 	sink := newFrameSink(w)
+	// Only settled outcomes belong in the replay cache: a success or a
+	// non-retryable error. Recording a *retryable* failure (a drain
+	// shed, a barrier loss) would hand every retry of this query ID the
+	// same cached failure back, so the query could never succeed against
+	// this server — the record is forgotten instead, and the retry
+	// re-executes. Replayers already waiting on the record still get
+	// the (retryable) error frames and retry afresh.
+	retryableFailure := false
+	emitError := func(env Envelope) {
+		retryableFailure = env.Retryable
+		sink.emit(EncodeErrorFrame(env))
+	}
 	defer func() {
-		rec.finish(sink.buf)
+		if retryableFailure {
+			s.sessions.forget(sess, queryID, rec)
+		}
+		s.sessions.finishQuery(sess, queryID, rec, sink.buf)
 		s.count(func(c *Counters) { c.BytesOut += int64(len(sink.buf)) })
 	}()
 
@@ -408,7 +423,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		s.count(func(c *Counters) { c.Refused++ })
 		refusal := &sched.AdmissionError{Reason: sched.ReasonDraining}
-		sink.emit(EncodeErrorFrame(EncodeError(refusal, s.cfg.RetryAfter)))
+		emitError(EncodeError(refusal, s.cfg.RetryAfter))
 		return
 	}
 
@@ -417,7 +432,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		env := EncodeError(err, 0)
 		env.Code = CodeParse
 		env.Retryable = false
-		sink.emit(EncodeErrorFrame(env))
+		emitError(env)
 		return
 	}
 
@@ -428,9 +443,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if v := r.Header.Get(HeaderDeadlineMs); v != "" {
 		ms, err := strconv.ParseInt(v, 10, 64)
 		if err != nil || ms <= 0 {
-			sink.emit(EncodeErrorFrame(Envelope{
+			emitError(Envelope{
 				Code: CodeProto, Message: fmt.Sprintf("bad %s header %q", HeaderDeadlineMs, v),
-			}))
+			})
 			return
 		}
 		d := time.Duration(ms) * time.Millisecond
@@ -449,9 +464,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "high":
 		prio = sched.PriorityHigh
 	default:
-		sink.emit(EncodeErrorFrame(Envelope{
+		emitError(Envelope{
 			Code: CodeProto, Message: fmt.Sprintf("bad %s header %q", HeaderPriority, r.Header.Get(HeaderPriority)),
-		}))
+		})
 		return
 	}
 	opts = append(opts, engine.Priority(prio))
@@ -481,7 +496,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	res, err := s.db.ExecuteStmtContext(runCtx, stmt, opts...)
 	if err != nil {
 		s.count(func(c *Counters) { c.Failed++ })
-		sink.emit(EncodeErrorFrame(EncodeError(err, s.cfg.RetryAfter)))
+		emitError(EncodeError(err, s.cfg.RetryAfter))
 		return
 	}
 	s.count(func(c *Counters) { c.Completed++ })

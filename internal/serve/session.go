@@ -4,7 +4,10 @@
 // datasets, CREATE JOIN definitions) so an expired session's objects
 // are swept from the shared catalog, and it records completed query
 // responses keyed by client query ID so a retry whose original
-// response was lost replays bytes instead of executing twice.
+// response was lost replays bytes instead of executing twice. Only
+// settled outcomes are recorded — successes and non-retryable errors;
+// a retryable failure is forgotten (forget) so the retry that the
+// error itself invites re-executes instead of replaying the failure.
 package serve
 
 import (
@@ -18,10 +21,18 @@ import (
 const DefaultSessionIdle = 15 * time.Minute
 
 // DefaultReplayCap bounds the completed-response records one session
-// retains for idempotent replay. Oldest records are evicted first; a
-// retry arriving after eviction re-executes (safe for SELECT, and the
-// horizon is deliberately much longer than any sane retry policy).
+// retains for idempotent replay. Oldest finished records are evicted
+// first; a retry arriving after eviction re-executes (safe for SELECT,
+// and the horizon is deliberately much longer than any sane retry
+// policy). Records still in flight are never evicted — dropping one
+// would let a concurrent retry execute the same query ID twice.
 const DefaultReplayCap = 256
+
+// DefaultReplayBytes bounds the recorded response bytes one session
+// retains for replay, so a handful of large result sets cannot pin
+// memory for the whole idle window. Oldest finished records are
+// evicted first when the budget is exceeded.
+const DefaultReplayBytes = 16 << 20
 
 // queryRecord is one query ID's lifecycle under a session: created at
 // first arrival, closed (done) when the response bytes are recorded.
@@ -40,8 +51,9 @@ type session struct {
 	datasets []string // SELECT INTO datasets this session created
 	joins    []string // CREATE JOIN definitions this session created
 
-	replay map[string]*queryRecord
-	order  []string // replay insertion order, for eviction
+	replay      map[string]*queryRecord
+	order       []string // replay insertion order, for eviction
+	replayBytes int64    // recorded frame bytes across finished records
 }
 
 // sessions is the registry. All methods are safe for concurrent use.
@@ -50,16 +62,20 @@ type sessions struct {
 	byID      map[string]*session
 	idle      time.Duration
 	replayCap int
+	bytesCap  int64
 }
 
-func newSessions(idle time.Duration, replayCap int) *sessions {
+func newSessions(idle time.Duration, replayCap int, bytesCap int64) *sessions {
 	if idle <= 0 {
 		idle = DefaultSessionIdle
 	}
 	if replayCap <= 0 {
 		replayCap = DefaultReplayCap
 	}
-	return &sessions{byID: make(map[string]*session), idle: idle, replayCap: replayCap}
+	if bytesCap <= 0 {
+		bytesCap = DefaultReplayBytes
+	}
+	return &sessions{byID: make(map[string]*session), idle: idle, replayCap: replayCap, bytesCap: bytesCap}
 }
 
 // touch returns the named session, creating it if needed, and stamps
@@ -103,18 +119,104 @@ func (ss *sessions) beginQuery(s *session, queryID string) (*queryRecord, bool) 
 	rec := &queryRecord{done: make(chan struct{})}
 	s.replay[queryID] = rec
 	s.order = append(s.order, queryID)
-	for len(s.order) > ss.replayCap {
-		evict := s.order[0]
-		s.order = s.order[1:]
-		delete(s.replay, evict)
-	}
+	s.evictLocked(ss.replayCap, ss.bytesCap)
 	return rec, true
+}
+
+// evictLocked drops oldest *finished* records until the session holds
+// at most maxRecords replay records and at most maxBytes recorded
+// frame bytes. In-flight records (done not yet closed) are never
+// evicted — dropping one would let a retry arriving after the eviction
+// execute concurrently with the original, breaking the exactly-once
+// invariant — so the caps can be transiently exceeded while queries
+// are in flight. Callers hold ss.mu.
+func (s *session) evictLocked(maxRecords int, maxBytes int64) {
+	i := 0
+	for (len(s.order) > maxRecords || s.replayBytes > maxBytes) && i < len(s.order) {
+		rec := s.replay[s.order[i]]
+		select {
+		case <-rec.done:
+		default:
+			i++ // in flight: skip, try the next-oldest
+			continue
+		}
+		delete(s.replay, s.order[i])
+		s.replayBytes -= int64(len(rec.frames))
+		s.order = append(s.order[:i], s.order[i+1:]...)
+	}
 }
 
 // finish publishes a record's response bytes and wakes replayers.
 func (rec *queryRecord) finish(frames []byte) {
 	rec.frames = frames
 	close(rec.done)
+}
+
+// finishQuery publishes a tracked record's response bytes, charges the
+// session's replay byte budget, and evicts oldest finished records if
+// the budget is now exceeded. An empty queryID (untracked record)
+// degenerates to a plain finish.
+func (ss *sessions) finishQuery(s *session, queryID string, rec *queryRecord, frames []byte) {
+	rec.frames = frames
+	if queryID != "" {
+		ss.mu.Lock()
+		// Charge only records still tracked: a session expiry may have
+		// orphaned s, in which case the bytes die with it anyway.
+		if s.replay[queryID] == rec {
+			s.replayBytes += int64(len(frames))
+		}
+		ss.mu.Unlock()
+	}
+	close(rec.done)
+	if queryID != "" {
+		ss.mu.Lock()
+		s.evictLocked(ss.replayCap, ss.bytesCap)
+		ss.mu.Unlock()
+	}
+}
+
+// forget drops a query's replay record, so the next arrival of the
+// same ID executes afresh instead of replaying. The server calls this
+// before finishing a record whose outcome was a *retryable* error:
+// caching a transient refusal would hand every retry the same failure
+// and the query could never succeed against this server. The rec guard
+// makes the call a no-op if the ID was already forgotten and re-begun.
+func (ss *sessions) forget(s *session, queryID string, rec *queryRecord) {
+	if queryID == "" {
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if s.replay[queryID] != rec {
+		return
+	}
+	delete(s.replay, queryID)
+	for i, id := range s.order {
+		if id == queryID {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// execCount reports how many times a query ID actually executed, as a
+// pure read: unknown sessions or IDs report 0 and nothing is created
+// or touched.
+func (ss *sessions) execCount(id, queryID string) int {
+	if id == "" {
+		id = "default"
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	s := ss.byID[id]
+	if s == nil {
+		return 0
+	}
+	rec := s.replay[queryID]
+	if rec == nil {
+		return 0
+	}
+	return rec.execs
 }
 
 // trackDataset/trackJoin note catalog objects the session created, so

@@ -9,7 +9,7 @@ import (
 var sessionEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 
 func TestSessionReplayLifecycle(t *testing.T) {
-	ss := newSessions(time.Minute, 4)
+	ss := newSessions(time.Minute, 4, 0)
 	sess := ss.touch("s1", sessionEpoch)
 
 	rec, first := ss.beginQuery(sess, "q1")
@@ -36,7 +36,7 @@ func TestSessionReplayLifecycle(t *testing.T) {
 }
 
 func TestSessionReplayUntrackedWithoutID(t *testing.T) {
-	ss := newSessions(time.Minute, 4)
+	ss := newSessions(time.Minute, 4, 0)
 	sess := ss.touch("s1", sessionEpoch)
 	a, firstA := ss.beginQuery(sess, "")
 	b, firstB := ss.beginQuery(sess, "")
@@ -49,7 +49,7 @@ func TestSessionReplayUntrackedWithoutID(t *testing.T) {
 }
 
 func TestSessionReplayEviction(t *testing.T) {
-	ss := newSessions(time.Minute, 2)
+	ss := newSessions(time.Minute, 2, 0)
 	sess := ss.touch("s1", sessionEpoch)
 	for i := 0; i < 3; i++ {
 		rec, first := ss.beginQuery(sess, fmt.Sprintf("q%d", i))
@@ -67,8 +67,108 @@ func TestSessionReplayEviction(t *testing.T) {
 	}
 }
 
+func TestSessionEvictionSkipsInFlight(t *testing.T) {
+	ss := newSessions(time.Minute, 2, 0)
+	sess := ss.touch("s1", sessionEpoch)
+	// Three in-flight records under a cap of two: none may be evicted,
+	// or a retry of the "evicted" ID would execute concurrently with
+	// its original.
+	recs := make([]*queryRecord, 3)
+	for i := range recs {
+		rec, first := ss.beginQuery(sess, fmt.Sprintf("q%d", i))
+		if !first {
+			t.Fatalf("q%d should be fresh", i)
+		}
+		recs[i] = rec
+	}
+	for i := range recs {
+		if _, first := ss.beginQuery(sess, fmt.Sprintf("q%d", i)); first {
+			t.Fatalf("in-flight q%d was evicted over the cap", i)
+		}
+	}
+	// Once finished they become evictable again: the next begin sheds
+	// the oldest finished records back down to the cap.
+	for i, rec := range recs {
+		ss.finishQuery(sess, fmt.Sprintf("q%d", i), rec, []byte("r"))
+	}
+	rec3, _ := ss.beginQuery(sess, "q3")
+	if _, first := ss.beginQuery(sess, "q0"); !first {
+		t.Fatal("oldest finished record q0 must be evicted once settled")
+	}
+	ss.finishQuery(sess, "q3", rec3, nil)
+}
+
+func TestSessionForgetReExecutes(t *testing.T) {
+	ss := newSessions(time.Minute, 4, 0)
+	sess := ss.touch("s1", sessionEpoch)
+	rec, first := ss.beginQuery(sess, "q1")
+	if !first {
+		t.Fatal("first arrival must execute")
+	}
+	rec.execs = 1
+	// A retryable failure: forget the record, then finish it so any
+	// waiting replayer wakes with the (retryable) error frames.
+	ss.forget(sess, "q1", rec)
+	rec.finish([]byte("shed"))
+	again, first := ss.beginQuery(sess, "q1")
+	if !first {
+		t.Fatal("forgotten query ID must re-execute on retry")
+	}
+	if again == rec {
+		t.Fatal("retry must get a fresh record")
+	}
+	// Forgetting a stale record pointer is a no-op.
+	ss.forget(sess, "q1", rec)
+	if _, first := ss.beginQuery(sess, "q1"); first {
+		t.Fatal("stale forget must not drop the fresh record")
+	}
+}
+
+func TestSessionReplayByteBudget(t *testing.T) {
+	ss := newSessions(time.Minute, 100, 64)
+	sess := ss.touch("s1", sessionEpoch)
+	big := make([]byte, 48)
+	for i := 0; i < 3; i++ {
+		rec, _ := ss.beginQuery(sess, fmt.Sprintf("q%d", i))
+		ss.finishQuery(sess, fmt.Sprintf("q%d", i), rec, big)
+	}
+	// 3×48 bytes against a 64-byte budget: the two oldest finished
+	// records must have been evicted.
+	for i, wantFirst := range []bool{true, true, false} {
+		if _, first := ss.beginQuery(sess, fmt.Sprintf("q%d", i)); first != wantFirst {
+			t.Fatalf("q%d fresh=%v, want %v", i, first, wantFirst)
+		}
+	}
+	if sess.replayBytes > 64+48 {
+		t.Fatalf("replayBytes %d not reclaimed by eviction", sess.replayBytes)
+	}
+}
+
+func TestSessionExecCountIsPureRead(t *testing.T) {
+	ss := newSessions(time.Minute, 4, 0)
+	if n := ss.execCount("ghost", "q1"); n != 0 {
+		t.Fatalf("unknown session execCount = %d, want 0", n)
+	}
+	if ss.count() != 0 {
+		t.Fatal("execCount created a session")
+	}
+	sess := ss.touch("s1", sessionEpoch)
+	if n := ss.execCount("s1", "nope"); n != 0 {
+		t.Fatalf("unknown query execCount = %d, want 0", n)
+	}
+	rec, _ := ss.beginQuery(sess, "q1")
+	rec.execs = 1
+	if n := ss.execCount("s1", "q1"); n != 1 {
+		t.Fatalf("execCount = %d, want 1", n)
+	}
+	// The probe must not refresh the idle stamp.
+	if got := sess.lastUsed; !got.Equal(sessionEpoch) {
+		t.Fatalf("execCount touched lastUsed: %v", got)
+	}
+}
+
 func TestSessionExpiry(t *testing.T) {
-	ss := newSessions(time.Minute, 4)
+	ss := newSessions(time.Minute, 4, 0)
 	// Create in non-alphabetical order; expiry must come back sorted.
 	ss.touch("zeta", sessionEpoch)
 	ss.touch("alpha", sessionEpoch)
@@ -93,7 +193,7 @@ func TestSessionExpiry(t *testing.T) {
 }
 
 func TestSessionUntrackJoinAcrossSessions(t *testing.T) {
-	ss := newSessions(time.Minute, 4)
+	ss := newSessions(time.Minute, 4, 0)
 	a := ss.touch("a", sessionEpoch)
 	b := ss.touch("b", sessionEpoch)
 	ss.trackJoin(a, "j1")
