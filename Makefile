@@ -15,10 +15,13 @@ all: build
 
 # vet runs the standard analyzers plus fudjvet, the repo's own
 # invariant suite (determinism, UDF isolation, bounded allocation,
-# context plumbing) via the go vet -vettool protocol.
+# context plumbing, side symmetry) via the go vet -vettool protocol,
+# then the standalone driver with the suppression-ratchet budget: live
+# //fudjvet:ignore counts may not exceed testdata/fudjvet_budget.txt.
 vet: fudjvet
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath $(FUDJVET)) ./...
+	$(FUDJVET) -budget testdata/fudjvet_budget.txt ./...
 
 fudjvet:
 	$(GO) build -o $(FUDJVET) ./cmd/fudjvet
@@ -107,5 +110,6 @@ lint-fix-check: fudjvet
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet -vettool=$(abspath $(FUDJVET)) ./...
+	$(FUDJVET) -budget testdata/fudjvet_budget.txt ./...
 
 ci: vet build race chaos chaos-recovery staticcheck govulncheck

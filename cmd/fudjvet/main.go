@@ -1,18 +1,32 @@
 // Command fudjvet is the FUDJ multichecker: it runs the
 // internal/analysis suite (maporder, seedrand, udfcatch, boundedalloc,
-// ctxplumb) over the repository and reports every invariant violation,
-// counting //fudjvet:ignore suppressions so the escape hatch stays
-// visible.
+// ctxplumb, metricslock, spillclose, errwrap, sidesym) over the
+// repository and reports every invariant violation, counting
+// //fudjvet:ignore suppressions so the escape hatch stays visible.
 //
 // It runs in two modes:
 //
-//	fudjvet ./...                     standalone: loads packages itself
+//	fudjvet [-json] [-budget file] ./...       standalone: loads packages itself
 //	go vet -vettool=$(pwd)/bin/fudjvet ./...   unitchecker: driven by the go command
 //
 // The unitchecker mode speaks the go command's vet tool protocol
 // (-V=full / -flags / <package>.cfg), type-checking each package
 // against the export data the go command hands it, so `make vet` and
 // CI integrate the suite exactly like the standard vet analyzers.
+//
+// Interprocedural facts flow between packages in both modes: the
+// standalone driver analyzes packages in dependency order with one
+// shared fact store, and the unitchecker serializes each package's
+// facts into its .vetx file, which the go command hands to dependent
+// packages (PackageVetx) alongside their export data.
+//
+// Flags (standalone mode only):
+//
+//	-json          emit findings and suppressions as a JSON array on
+//	               stdout instead of vet-style text on stderr
+//	-budget file   suppression ratchet: fail if the live
+//	               //fudjvet:ignore count for any rule exceeds the
+//	               per-rule budget listed in file
 package main
 
 import (
@@ -20,18 +34,22 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"fudj/internal/analysis"
 	"fudj/internal/analysis/framework"
 )
 
-const version = "fudjvet version v1.1.0"
+// version feeds the go command's build cache key; bump it whenever
+// analyzer semantics change so stale vet results are invalidated.
+const version = "fudjvet version v2.0.0"
 
 func main() {
 	args := os.Args[1:]
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: fudjvet [packages] | go vet -vettool=fudjvet [packages]")
+		fmt.Fprintln(os.Stderr, "usage: fudjvet [-json] [-budget file] [packages] | go vet -vettool=fudjvet [packages]")
 		os.Exit(1)
 	}
 	switch {
@@ -49,32 +67,175 @@ func main() {
 }
 
 // standalone loads the given package patterns with `go list -export`
-// and analyzes everything in one process.
-func standalone(patterns []string) {
+// and analyzes everything in one process, in dependency order with a
+// shared fact store so interprocedural facts resolve in-process.
+func standalone(args []string) {
+	jsonOut := false
+	budgetFile := ""
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-json":
+			jsonOut = true
+		case args[i] == "-budget":
+			if i+1 >= len(args) {
+				fatal(fmt.Errorf("-budget requires a file argument"))
+			}
+			i++
+			budgetFile = args[i]
+		case strings.HasPrefix(args[i], "-budget="):
+			budgetFile = strings.TrimPrefix(args[i], "-budget=")
+		default:
+			patterns = append(patterns, args[i])
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
 	pkgs, err := framework.LoadPackages(".", patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fudjvet:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	findings := 0
+	facts := framework.NewFactStore()
+	var diags []framework.Diagnostic
 	var suppressed []framework.Suppression
 	for _, pkg := range pkgs {
-		res, err := framework.RunAnalyzers(pkg, analysis.All())
+		res, err := framework.RunAnalyzers(pkg, analysis.All(), facts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fudjvet:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		for _, d := range res.Diagnostics {
-			fmt.Fprintln(os.Stderr, d)
-			findings++
-		}
+		diags = append(diags, res.Diagnostics...)
 		suppressed = append(suppressed, res.Suppressed...)
 	}
-	reportSuppressions(suppressed)
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "fudjvet: %d finding(s)\n", findings)
+
+	budgetErrs := checkBudget(budgetFile, suppressed)
+
+	if jsonOut {
+		out, err := marshalJSON(diags, suppressed)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+		os.Stdout.Write([]byte("\n"))
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		reportSuppressions(suppressed)
+	}
+	for _, e := range budgetErrs {
+		fmt.Fprintln(os.Stderr, "fudjvet:", e)
+	}
+	if len(diags) > 0 || len(budgetErrs) > 0 {
+		if !jsonOut && len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "fudjvet: %d finding(s)\n", len(diags))
+		}
 		os.Exit(2)
 	}
+}
+
+// jsonFinding is one -json output record: a live finding or a
+// suppressed one (suppressed=true, reason populated).
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col,omitempty"`
+	Rule       string `json:"rule"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// marshalJSON renders diagnostics and suppressions as one sorted JSON
+// array, findings first within each file/line.
+func marshalJSON(diags []framework.Diagnostic, sup []framework.Suppression) ([]byte, error) {
+	records := make([]jsonFinding, 0, len(diags)+len(sup))
+	for _, d := range diags {
+		records = append(records, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
+	}
+	for _, s := range sup {
+		records = append(records, jsonFinding{
+			File: s.Pos.Filename, Line: s.Pos.Line, Col: s.Pos.Column,
+			Rule: s.Rule, Message: s.Message, Suppressed: true, Reason: s.Reason,
+		})
+	}
+	sort.Slice(records, func(i, j int) bool {
+		a, b := records[i], records[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Suppressed != b.Suppressed {
+			return !a.Suppressed
+		}
+		return a.Rule < b.Rule
+	})
+	return json.MarshalIndent(records, "", "\t")
+}
+
+// parseBudget reads a suppression budget file: one "rule count" pair
+// per line, '#' comments and blank lines ignored.
+func parseBudget(data []byte) (map[string]int, error) {
+	budget := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("budget line %d: want \"rule count\", got %q", i+1, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("budget line %d: bad count %q", i+1, fields[1])
+		}
+		budget[fields[0]] = n
+	}
+	return budget, nil
+}
+
+// checkBudget enforces the suppression ratchet: the live
+// //fudjvet:ignore count per rule must not exceed the checked-in
+// budget, and rules absent from the budget get zero. Shrinking the
+// budget is the only way it changes — a new suppression forces either
+// a fix or a reviewed budget bump.
+func checkBudget(file string, sup []framework.Suppression) []error {
+	if file == "" {
+		return nil
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []error{fmt.Errorf("suppression budget: %w", err)}
+	}
+	budget, err := parseBudget(data)
+	if err != nil {
+		return []error{fmt.Errorf("suppression budget: %w", err)}
+	}
+	live := make(map[string]int)
+	for _, s := range sup {
+		live[s.Rule]++
+	}
+	var rules []string
+	for r := range live {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	var errs []error
+	for _, r := range rules {
+		if live[r] > budget[r] {
+			errs = append(errs, fmt.Errorf(
+				"suppression budget exceeded for %s: %d live //fudjvet:ignore directives, budget %d (%s); fix the findings or shrink elsewhere before raising the budget",
+				r, live[r], budget[r], file))
+		}
+	}
+	return errs
 }
 
 // reportSuppressions keeps the escape hatch honest: every silenced
@@ -110,6 +271,7 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	Standard    map[string]bool
 	VetxOnly    bool
 	VetxOutput  string
@@ -118,6 +280,10 @@ type vetConfig struct {
 }
 
 // unitcheck analyzes one package as directed by a go vet cfg file.
+// Dependency facts arrive through cfg.PackageVetx (each dependency's
+// serialized fact store); this package's facts — including those of a
+// VetxOnly dependency run — are written to cfg.VetxOutput for the
+// packages that import it.
 func unitcheck(cfgFile string) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -126,16 +292,6 @@ func unitcheck(cfgFile string) {
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatal(fmt.Errorf("parsing %s: %w", cfgFile, err))
-	}
-	// The go command requires the vetx (facts) file regardless; the
-	// fudjvet analyzers exchange no facts, so it is a placeholder.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("fudjvet: no facts\n"), 0o666); err != nil {
-			fatal(err)
-		}
-	}
-	if cfg.VetxOnly {
-		return // a dependency analyzed only for facts — nothing to do
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		if mapped, ok := cfg.ImportMap[path]; ok {
@@ -150,13 +306,36 @@ func unitcheck(cfgFile string) {
 	pkg, err := framework.TypeCheck(cfg.ImportPath, cfg.GoFiles, lookup)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput, framework.NewFactStore())
 			return
 		}
 		fatal(err)
 	}
-	res, err := framework.RunAnalyzers(pkg, analysis.All())
+
+	// Seed the store with every dependency's exported facts.
+	facts := framework.NewFactStore()
+	var vetxPaths []string
+	for imp := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, imp)
+	}
+	sort.Strings(vetxPaths)
+	for _, imp := range vetxPaths {
+		data, err := os.ReadFile(cfg.PackageVetx[imp])
+		if err != nil {
+			continue // a missing dependency vetx degrades precision, not correctness
+		}
+		if err := facts.MergeFacts(data); err != nil {
+			fatal(fmt.Errorf("merging facts of %s: %w", imp, err))
+		}
+	}
+
+	res, err := framework.RunAnalyzers(pkg, analysis.All(), facts)
 	if err != nil {
 		fatal(err)
+	}
+	writeVetx(cfg.VetxOutput, facts)
+	if cfg.VetxOnly {
+		return // a dependency analyzed only for facts — findings belong to its own vet run
 	}
 	reportSuppressions(res.Suppressed)
 	if len(res.Diagnostics) > 0 {
@@ -164,6 +343,22 @@ func unitcheck(cfgFile string) {
 			fmt.Fprintln(os.Stderr, d)
 		}
 		os.Exit(2)
+	}
+}
+
+// writeVetx serializes the fact store to the go command's requested
+// facts file. The go command requires the file to exist even when
+// there are no facts.
+func writeVetx(path string, facts *framework.FactStore) {
+	if path == "" {
+		return
+	}
+	data, err := facts.MarshalFacts()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fudj/internal/analysis/framework"
+)
+
+// TestMarshalJSONGolden locks the -json output shape: one sorted array
+// of findings and suppressions with file/line/rule/message/suppressed.
+func TestMarshalJSONGolden(t *testing.T) {
+	diags := []framework.Diagnostic{
+		{
+			Rule:    "boundedalloc",
+			Pos:     token.Position{Filename: "internal/wire/wire.go", Line: 42, Column: 9},
+			Message: "make sized by n, which comes from a raw decoded length prefix",
+		},
+		{
+			Rule:    "udfcatch",
+			Pos:     token.Position{Filename: "internal/engine/fudj.go", Line: 7, Column: 3},
+			Message: "call to user-defined Match runs inside a partition task with no deferred core.CatchPanic",
+		},
+	}
+	sup := []framework.Suppression{
+		{
+			Rule:    "ctxplumb",
+			Pos:     token.Position{Filename: "internal/serve/server.go", Line: 192, Column: 1},
+			Message: "exported Serve spawns goroutines but accepts no context.Context",
+			Reason:  "mirrors http.Server.Serve: cancellation arrives via Shutdown/stopCh, not a ctx parameter",
+		},
+	}
+	got, err := marshalJSON(diags, sup)
+	if err != nil {
+		t.Fatalf("marshalJSON: %v", err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "json_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o666); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-json output drifted from %s:\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestParseBudget covers the ratchet file format and its failure modes.
+func TestParseBudget(t *testing.T) {
+	budget, err := parseBudget([]byte("# comment\n\nudfcatch 0\nctxplumb 2\n"))
+	if err != nil {
+		t.Fatalf("parseBudget: %v", err)
+	}
+	if budget["udfcatch"] != 0 || budget["ctxplumb"] != 2 {
+		t.Errorf("parsed budget %v, want udfcatch=0 ctxplumb=2", budget)
+	}
+	if _, err := parseBudget([]byte("udfcatch zero\n")); err == nil {
+		t.Error("bad count accepted")
+	}
+	if _, err := parseBudget([]byte("too many fields here\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+// TestCheckBudget verifies the ratchet: counts above budget fail,
+// at-or-under passes, and unlisted rules default to zero.
+func TestCheckBudget(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "budget.txt")
+	if err := os.WriteFile(file, []byte("ctxplumb 1\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	sup := func(rule string, n int) []framework.Suppression {
+		out := make([]framework.Suppression, n)
+		for i := range out {
+			out[i] = framework.Suppression{Rule: rule}
+		}
+		return out
+	}
+	if errs := checkBudget(file, sup("ctxplumb", 1)); len(errs) != 0 {
+		t.Errorf("at-budget run failed: %v", errs)
+	}
+	if errs := checkBudget(file, sup("ctxplumb", 2)); len(errs) != 1 {
+		t.Errorf("over-budget run passed: %v", errs)
+	}
+	if errs := checkBudget(file, sup("udfcatch", 1)); len(errs) != 1 {
+		t.Errorf("unlisted rule (implicit zero budget) passed: %v", errs)
+	}
+	if errs := checkBudget("", sup("udfcatch", 99)); len(errs) != 0 {
+		t.Errorf("no budget file should disable the ratchet: %v", errs)
+	}
+}

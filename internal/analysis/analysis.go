@@ -14,6 +14,7 @@ import (
 	"fudj/internal/analysis/maporder"
 	"fudj/internal/analysis/metricslock"
 	"fudj/internal/analysis/seedrand"
+	"fudj/internal/analysis/sidesym"
 	"fudj/internal/analysis/spillclose"
 	"fudj/internal/analysis/udfcatch"
 )
@@ -26,6 +27,7 @@ func All() []*framework.Analyzer {
 		udfcatch.Analyzer,
 		boundedalloc.Analyzer,
 		ctxplumb.Analyzer,
+		sidesym.Analyzer,
 		metricslock.Analyzer,
 		spillclose.Analyzer,
 		errwrap.Analyzer,

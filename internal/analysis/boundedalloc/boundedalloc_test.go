@@ -8,5 +8,5 @@ import (
 )
 
 func TestBoundedAlloc(t *testing.T) {
-	framework.RunTest(t, "testdata", boundedalloc.Analyzer, "a")
+	framework.RunTest(t, "testdata", boundedalloc.Analyzer, "a", "b")
 }

@@ -74,3 +74,100 @@ func suppressedMake(d *Decoder) []byte {
 	//fudjvet:ignore boundedalloc -- fixture: bound is checked out of band
 	return make([]byte, n) // suppressed
 }
+
+// allocRecords' parameter n flows unchecked into a make: the fact makes
+// passing a raw decoded length at that position a call-site finding.
+func allocRecords(n int) []Record {
+	return make([]Record, n)
+}
+
+// AllocForwarded forwards its parameter to allocRecords, inheriting the
+// alloc-param fact transitively (exported for fixture b).
+func AllocForwarded(n int) []Record {
+	return allocRecords(n)
+}
+
+func flaggedParamFlow(d *Decoder) ([]Record, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return allocRecords(int(n)), nil // want `int\(n\) comes from a raw decoded length prefix and flows into an allocation size inside allocRecords`
+}
+
+func flaggedParamFlowTransitive(d *Decoder) []Record {
+	n, _ := d.Uvarint()
+	return AllocForwarded(int(n)) // want `int\(n\) comes from a raw decoded length prefix and flows into an allocation size inside AllocForwarded`
+}
+
+func okParamChecked(d *Decoder, limit int) []Record {
+	n, _ := d.Uvarint()
+	if n > uint64(limit) {
+		return nil
+	}
+	return allocRecords(int(n))
+}
+
+// allocChecked bounds its parameter before allocating, so it exports no
+// alloc-param fact and raw lengths may be passed to it.
+func allocChecked(n, limit int) []Record {
+	if n > limit {
+		n = limit
+	}
+	return make([]Record, n)
+}
+
+func okCalleeChecks(d *Decoder) []Record {
+	n, _ := d.Uvarint()
+	return allocChecked(int(n), 64)
+}
+
+// ReadLength returns a raw decoded length: callers' results are tainted
+// through the TaintedReturns fact (exported for fixture b).
+func ReadLength(d *Decoder) (uint64, error) {
+	return d.Uvarint()
+}
+
+func flaggedTaintedReturn(d *Decoder) ([]byte, error) {
+	n, err := ReadLength(d)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil // want `make sized by n`
+}
+
+// Header models a decoded frame header whose Count field is stored raw:
+// every read of the field is tainted (exported for fixture b).
+type Header struct {
+	Count int
+	Flags int
+}
+
+func fillHeader(d *Decoder, h *Header) error {
+	n, err := d.Uvarint()
+	if err != nil {
+		return err
+	}
+	h.Count = int(n)
+	return nil
+}
+
+func flaggedFieldRead(h *Header) []Record {
+	return make([]Record, h.Count) // want `make sized by h.Count`
+}
+
+func flaggedCompositeField(d *Decoder) *Header {
+	n, _ := d.Uvarint()
+	h := &Header{Count: int(n), Flags: 0}
+	_ = h
+	return h
+}
+
+func okUntaintedField(h *Header) []Record {
+	return make([]Record, h.Flags)
+}
+
+func okMin(d *Decoder, bound int) []byte {
+	n, _ := d.Uvarint()
+	return make([]byte, min(int(n), bound))
+}

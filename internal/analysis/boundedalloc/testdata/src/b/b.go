@@ -1,0 +1,34 @@
+// Fixture for boundedalloc's cross-package fact flow: package a exports
+// alloc-param, tainted-return, and tainted-field facts consumed here.
+package b
+
+import "a"
+
+func flaggedCrossReturn(d *a.Decoder) ([]byte, error) {
+	n, err := a.ReadLength(d)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil // want `make sized by n`
+}
+
+func flaggedCrossParam(d *a.Decoder) []a.Record {
+	n, _ := d.Uvarint()
+	return a.AllocForwarded(int(n)) // want `int\(n\) comes from a raw decoded length prefix and flows into an allocation size inside AllocForwarded`
+}
+
+func flaggedCrossField(h *a.Header) []byte {
+	return make([]byte, h.Count) // want `make sized by h.Count`
+}
+
+func okCrossFlags(h *a.Header) []byte {
+	return make([]byte, h.Flags)
+}
+
+func okCrossChecked(d *a.Decoder) ([]byte, error) {
+	n, err := a.ReadLength(d)
+	if err != nil || n > 1024 {
+		return nil, err
+	}
+	return make([]byte, n), nil
+}

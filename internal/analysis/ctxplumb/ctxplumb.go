@@ -24,6 +24,8 @@ import (
 var DefaultRestricted = []string{
 	"fudj/internal/cluster",
 	"fudj/internal/engine",
+	"fudj/internal/sched",
+	"fudj/internal/serve",
 }
 
 // Analyzer is the ctxplumb rule over the default restricted packages.

@@ -13,6 +13,12 @@ import (
 // compares the findings against `// want` expectations embedded in the
 // fixture sources.
 //
+// The named packages are analyzed in order with one shared fact store,
+// and a later package may import an earlier one by directory name —
+// that is how cross-package fact propagation (a fact produced in
+// package `a`, a finding in package `b`) is exercised. Independent
+// fixture packages simply don't import each other.
+//
 // Expectation syntax, on the line a finding is expected at:
 //
 //	code() // want `regexp matching the message`
@@ -23,15 +29,15 @@ import (
 // `// suppressed` on the directive's line.
 func RunTest(t *testing.T, testdata string, a *Analyzer, pkgs ...string) {
 	t.Helper()
-	for _, name := range pkgs {
-		dir := filepath.Join(testdata, "src", name)
-		pkg, err := LoadFixtureDir(dir)
+	loaded, err := LoadFixtureDirs(filepath.Join(testdata, "src"), pkgs...)
+	if err != nil {
+		t.Fatalf("load fixtures %v: %v", pkgs, err)
+	}
+	facts := NewFactStore()
+	for i, pkg := range loaded {
+		res, err := RunAnalyzers(pkg, []*Analyzer{a}, facts)
 		if err != nil {
-			t.Fatalf("load fixture %s: %v", dir, err)
-		}
-		res, err := RunAnalyzers(pkg, []*Analyzer{a})
-		if err != nil {
-			t.Fatalf("run %s on %s: %v", a.Name, name, err)
+			t.Fatalf("run %s on %s: %v", a.Name, pkgs[i], err)
 		}
 		checkExpectations(t, pkg, res)
 	}

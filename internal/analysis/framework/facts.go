@@ -1,0 +1,258 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural layer: per-function (and per-field)
+// facts computed bottom-up over the module's package dependency graph.
+// An analyzer running on package P records summaries of P's functions
+// ("makes an unguarded UDF call", "parameter 0 flows into a make size",
+// "result 1 carries a raw decoded length") in the pass's FactStore;
+// when a dependent package Q is analyzed later, the same store resolves
+// those summaries at Q's call sites, so claims that used to need a
+// //fudjvet:ignore ("this helper only runs under the caller's guard")
+// are checked instead of asserted.
+//
+// Facts cross package boundaries the same way types do: in standalone
+// mode packages are analyzed in dependency order sharing one store; in
+// `go vet -vettool` mode each package's facts are serialized to its
+// .vetx file and the go command hands dependents the dependency vetx
+// files alongside the gc export data (see cmd/fudjvet).
+
+// FuncFact is the exported summary of one function.
+type FuncFact struct {
+	// NeedsGuard reports that calling this function may execute
+	// user-defined join code with no deferred panic guard installed
+	// between this function's entry and the UDF call. The guard
+	// obligation attaches to the function's callers (udfcatch).
+	NeedsGuard bool `json:"needs_guard,omitempty"`
+
+	// GuardedFnParams is a bitmask over parameters: bit i set means
+	// every invocation or onward pass of function-typed parameter i
+	// inside this function is dominated by a deferred panic guard (or
+	// forwarded to a callee that proves the same), so passing an
+	// unguarded UDF-calling function value at position i is safe
+	// (udfcatch).
+	GuardedFnParams uint64 `json:"guarded_fn_params,omitempty"`
+
+	// AllocParams is a bitmask over parameters: bit i set means
+	// parameter i flows unchecked into an allocation size (a make call,
+	// directly or through a callee with the same fact), so a raw
+	// decoded length must not be passed at position i (boundedalloc).
+	AllocParams uint64 `json:"alloc_params,omitempty"`
+
+	// TaintedReturns is a bitmask over results: bit i set means result
+	// i derives from a raw decoded length prefix and must be treated as
+	// tainted at call sites (boundedalloc).
+	TaintedReturns uint64 `json:"tainted_returns,omitempty"`
+}
+
+func (f FuncFact) empty() bool { return f == FuncFact{} }
+
+// FieldFact is the exported summary of one struct field.
+type FieldFact struct {
+	// Tainted reports that a raw decoded length prefix is stored into
+	// this field somewhere in the defining package, so reads of the
+	// field are tainted everywhere (boundedalloc).
+	Tainted bool `json:"tainted,omitempty"`
+}
+
+// FactStore accumulates facts across the packages of one analysis run.
+// The zero value is not usable; call NewFactStore.
+type FactStore struct {
+	funcs  map[string]*FuncFact
+	fields map[string]*FieldFact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		funcs:  make(map[string]*FuncFact),
+		fields: make(map[string]*FieldFact),
+	}
+}
+
+// ObjectKey renders a stable cross-package identifier for a function or
+// field object: "pkgpath.Name" for package-level objects,
+// "pkgpath.Recv.Name" for methods and fields. Packages re-imported from
+// export data produce the same key as the source-checked original, which
+// is what lets facts survive the gc-export-data boundary.
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			return path + "." + recvTypeName(sig.Recv().Type()) + "." + o.Name()
+		}
+		return path + "." + o.Name()
+	case *types.Var:
+		if o.IsField() {
+			// Field keys embed only the field name plus package; the
+			// owning struct type is not reachable from the field object,
+			// so callers use FieldKey with the type name when they have
+			// it. This bare form is the fallback.
+			return path + ".." + o.Name()
+		}
+		// Locals, parameters, and closure variables are not addressable
+		// across packages; giving them keys would collide with
+		// package-level names.
+		if o.Parent() != o.Pkg().Scope() {
+			return ""
+		}
+		return path + "." + o.Name()
+	}
+	return path + "." + obj.Name()
+}
+
+// FieldKey renders the identifier for a named struct type's field.
+func FieldKey(pkgPath, typeName, fieldName string) string {
+	return pkgPath + "." + typeName + "." + fieldName
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch n := t.(type) {
+	case *types.Named:
+		return n.Obj().Name()
+	case *types.Alias:
+		return n.Obj().Name()
+	}
+	return strings.ReplaceAll(t.String(), " ", "")
+}
+
+// Func returns the fact recorded for obj, or nil.
+func (s *FactStore) Func(obj types.Object) *FuncFact {
+	if key := ObjectKey(obj); key != "" {
+		return s.funcs[key]
+	}
+	return nil
+}
+
+// FuncByKey returns the fact recorded under an explicit key, or nil.
+func (s *FactStore) FuncByKey(key string) *FuncFact { return s.funcs[key] }
+
+// ExportFunc merges a fact for obj into the store through update, which
+// receives the (possibly fresh) fact to mutate.
+func (s *FactStore) ExportFunc(obj types.Object, update func(*FuncFact)) {
+	key := ObjectKey(obj)
+	if key == "" {
+		return
+	}
+	s.ExportFuncKey(key, update)
+}
+
+// ExportFuncKey is ExportFunc with an explicit key.
+func (s *FactStore) ExportFuncKey(key string, update func(*FuncFact)) {
+	f := s.funcs[key]
+	if f == nil {
+		f = &FuncFact{}
+		s.funcs[key] = f
+	}
+	update(f)
+}
+
+// Field returns the fact recorded under key, or nil.
+func (s *FactStore) Field(key string) *FieldFact { return s.fields[key] }
+
+// ExportField merges a field fact under key.
+func (s *FactStore) ExportField(key string, update func(*FieldFact)) {
+	if key == "" {
+		return
+	}
+	f := s.fields[key]
+	if f == nil {
+		f = &FieldFact{}
+		s.fields[key] = f
+	}
+	update(f)
+}
+
+// factFile is the on-disk (.vetx) shape of a store.
+type factFile struct {
+	Version int                   `json:"version"`
+	Funcs   map[string]*FuncFact  `json:"funcs,omitempty"`
+	Fields  map[string]*FieldFact `json:"fields,omitempty"`
+}
+
+const factVersion = 1
+
+// MarshalFacts serializes the store for a .vetx file, dropping empty
+// facts so the output stays stable and small.
+func (s *FactStore) MarshalFacts() ([]byte, error) {
+	out := factFile{Version: factVersion}
+	for k, f := range s.funcs {
+		if !f.empty() {
+			if out.Funcs == nil {
+				out.Funcs = make(map[string]*FuncFact)
+			}
+			out.Funcs[k] = f
+		}
+	}
+	for k, f := range s.fields {
+		if f.Tainted {
+			if out.Fields == nil {
+				out.Fields = make(map[string]*FieldFact)
+			}
+			out.Fields[k] = f
+		}
+	}
+	return json.MarshalIndent(out, "", "\t")
+}
+
+// MergeFacts merges a serialized store (one dependency's .vetx) into s.
+// Unknown versions and non-fudjvet vetx payloads are ignored rather
+// than fatal: the go command hands every tool the same files, and an
+// older fudjvet's placeholder must not break a newer one.
+func (s *FactStore) MergeFacts(data []byte) error {
+	var in factFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil // not a fudjvet fact file; nothing to merge
+	}
+	if in.Version != factVersion {
+		return nil
+	}
+	for k, f := range in.Funcs {
+		if f == nil {
+			continue
+		}
+		fact := f
+		s.ExportFuncKey(k, func(dst *FuncFact) { *dst = *fact })
+	}
+	for k, f := range in.Fields {
+		if f == nil || !f.Tainted {
+			continue
+		}
+		s.ExportField(k, func(dst *FieldFact) { dst.Tainted = true })
+	}
+	return nil
+}
+
+// String renders the store's non-empty facts sorted by key, for tests
+// and debugging.
+func (s *FactStore) String() string {
+	var lines []string
+	for k, f := range s.funcs {
+		if !f.empty() {
+			lines = append(lines, fmt.Sprintf("func %s needsGuard=%v guardedFnParams=%#x allocParams=%#x taintedReturns=%#x",
+				k, f.NeedsGuard, f.GuardedFnParams, f.AllocParams, f.TaintedReturns))
+		}
+	}
+	for k, f := range s.fields {
+		if f.Tainted {
+			lines = append(lines, fmt.Sprintf("field %s tainted", k))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

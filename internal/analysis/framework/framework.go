@@ -42,6 +42,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the interprocedural store shared across the packages of
+	// one run: analyzers read facts exported by the packages this one
+	// imports and record facts about this package's own functions for
+	// the packages analyzed after it. Never nil.
+	Facts *FactStore
+
 	report func(Diagnostic)
 }
 
@@ -87,9 +93,10 @@ func (d Diagnostic) String() string {
 // directive, so the multichecker can count and report what the escape
 // hatch is hiding.
 type Suppression struct {
-	Rule   string
-	Pos    token.Position
-	Reason string
+	Rule    string
+	Pos     token.Position
+	Message string // the silenced finding's text
+	Reason  string // the directive's "-- reason"
 }
 
 // Result is the outcome of running a set of analyzers over one package.
@@ -104,7 +111,15 @@ type Result struct {
 // directives found in the package's files. Directive hygiene problems
 // (missing reason) surface as ordinary diagnostics under the pseudo-rule
 // "fudjvet".
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) (Result, error) {
+//
+// facts carries interprocedural function summaries across packages:
+// pass nil for a fresh single-package run, or one shared store while
+// analyzing a module in dependency order so facts exported by
+// dependencies resolve at their dependents' call sites.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, facts *FactStore) (Result, error) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -113,6 +128,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) (Result, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 		}
 		pass.report = func(d Diagnostic) { raw = append(raw, d) }
 		if err := a.Run(pass); err != nil {
@@ -124,7 +140,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) (Result, error) {
 	res := Result{}
 	for _, d := range raw {
 		if reason, ok := dirs.match(d); ok {
-			res.Suppressed = append(res.Suppressed, Suppression{Rule: d.Rule, Pos: d.Pos, Reason: reason})
+			res.Suppressed = append(res.Suppressed, Suppression{Rule: d.Rule, Pos: d.Pos, Message: d.Message, Reason: reason})
 			continue
 		}
 		res.Diagnostics = append(res.Diagnostics, d)

@@ -69,6 +69,7 @@ type listedPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	Incomplete bool
 }
@@ -78,7 +79,7 @@ type listedPackage struct {
 func goList(dir string, patterns []string) ([]listedPackage, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,Incomplete",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,Incomplete",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -118,6 +119,11 @@ func (idx exportIndex) lookup(path string) (io.ReadCloser, error) {
 // matching patterns (e.g. "./..."), resolving imports through the build
 // cache's export data. Only production files are loaded; the go tool
 // already excludes testdata directories.
+//
+// Packages are returned in dependency order (imports before importers),
+// so a caller analyzing them front to back with one shared FactStore
+// sees every dependency's facts at its dependents' call sites. Ties are
+// broken by import path for stable output.
 func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
@@ -141,7 +147,7 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
+	var picked []listedPackage
 	seen := make(map[string]bool)
 	for _, p := range targets {
 		if seen[p.ImportPath] || p.Incomplete || len(p.GoFiles) == 0 {
@@ -152,6 +158,10 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 			continue
 		}
 		seen[p.ImportPath] = true
+		picked = append(picked, p)
+	}
+	var out []*Package
+	for _, p := range topoOrder(picked) {
 		files := make([]string, len(p.GoFiles))
 		for i, f := range p.GoFiles {
 			files[i] = filepath.Join(p.Dir, f)
@@ -162,8 +172,42 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 		}
 		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// topoOrder sorts pkgs so every package follows the packages it imports
+// (restricted to the given set). The import graph is acyclic — the go
+// tool enforces that — so the traversal terminates.
+func topoOrder(pkgs []listedPackage) []listedPackage {
+	byPath := make(map[string]listedPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		paths = append(paths, p.ImportPath)
+	}
+	sort.Strings(paths)
+	var out []listedPackage
+	done := make(map[string]bool, len(pkgs))
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := byPath[path]
+		if !ok || done[path] {
+			return
+		}
+		done[path] = true
+		imps := append([]string(nil), p.Imports...)
+		sort.Strings(imps)
+		for _, imp := range imps {
+			visit(imp)
+		}
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
 }
 
 // LoadFixtureDir parses and type-checks one analysistest fixture
@@ -172,45 +216,105 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 // tool for the export data of whatever standard-library packages the
 // fixture files mention.
 func LoadFixtureDir(dir string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	pkgs, err := LoadFixtureDirs(filepath.Dir(dir), filepath.Base(dir))
 	if err != nil {
 		return nil, err
 	}
+	return pkgs[0], nil
+}
+
+// LoadFixtureDirs parses and type-checks several fixture directories
+// under root (testdata/src) as one multi-package fixture, in the order
+// given. A later fixture may import an earlier one by its directory
+// name (`import "a"`), which is how cross-package fact propagation is
+// tested; dependency fixtures therefore come first. Standard-library
+// imports resolve through the go tool's export data as usual.
+func LoadFixtureDirs(root string, names ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
-	var files []*ast.File
-	importSet := make(map[string]bool)
-	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+	srcPkgs := make(map[string]*types.Package)
+	var out []*Package
+	for _, name := range names {
+		dir := filepath.Join(root, name)
+		entries, err := os.ReadDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
-		for _, imp := range f.Imports {
-			importSet[imp.Path.Value[1:len(imp.Path.Value)-1]] = true
-		}
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("no Go files in %s", dir)
-	}
-	idx := make(exportIndex)
-	if len(importSet) > 0 {
-		var paths []string
-		for p := range importSet {
-			paths = append(paths, p)
-		}
-		sort.Strings(paths)
-		listed, err := goList(dir, paths)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range listed {
-			if p.Export != "" {
-				idx[p.ImportPath] = p.Export
+		var files []*ast.File
+		importSet := make(map[string]bool)
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				p := imp.Path.Value[1 : len(imp.Path.Value)-1]
+				if srcPkgs[p] == nil {
+					importSet[p] = true
+				}
 			}
 		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		idx := make(exportIndex)
+		if len(importSet) > 0 {
+			var paths []string
+			for p := range importSet {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			listed, err := goList(dir, paths)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range listed {
+				if p.Export != "" {
+					idx[p.ImportPath] = p.Export
+				}
+			}
+		}
+		pkg, err := typeCheckFixture(name, fset, files, srcPkgs, idx.lookup)
+		if err != nil {
+			return nil, err
+		}
+		srcPkgs[name] = pkg.Types
+		out = append(out, pkg)
 	}
-	return typeCheckFiles(filepath.Base(dir), fset, files, idx.lookup)
+	return out, nil
+}
+
+// fixtureImporter resolves sibling fixture packages from source before
+// falling back to gc export data for everything else.
+type fixtureImporter struct {
+	src map[string]*types.Package
+	gc  types.Importer
+}
+
+func (im fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.src[path]; ok {
+		return p, nil
+	}
+	return im.gc.Import(path)
+}
+
+func typeCheckFixture(path string, fset *token.FileSet, files []*ast.File, src map[string]*types.Package, lookup ExportLookup) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: fixtureImporter{
+		src: src,
+		gc:  importer.ForCompiler(fset, "gc", importer.Lookup(lookup)),
+	}}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, nil
 }

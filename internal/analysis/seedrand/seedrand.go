@@ -26,6 +26,7 @@ import (
 var DefaultRestricted = []string{
 	"fudj/internal/cluster",
 	"fudj/internal/engine",
+	"fudj/internal/sched",
 	"fudj/internal/serve",
 	"fudj/internal/wire",
 }

@@ -1,0 +1,275 @@
+// Package sidesym verifies that dispatch on core.Side covers both
+// sides.
+//
+// Invariant: core.Side has exactly two values — Left (0) and Right (1)
+// — and nearly every per-side code path (assign, local aggregation,
+// key typing) is written twice. A switch, if-chain, or Side-keyed map
+// that handles only one side does not fail loudly for the other: a
+// missing switch case falls through to nothing, a missing map key
+// yields the zero value, and an if with no else silently skips the
+// side-specific work. Every one of those is a silent wrong-answer bug
+// in a join whose sides differ (the asymmetric-key joins of §V).
+//
+// The rule accepts three shapes:
+//
+//   - a switch on a Side value whose cases cover both Left and Right,
+//     or that carries a default;
+//
+//   - an if/else chain testing a Side value where an else is present,
+//     or where the single-side branch terminates (returns, panics, or
+//     continues/breaks the loop), so the fall-through path IS the other
+//     side's handling — the idiom the typed translation layer uses:
+//
+//     if side == Right && spec.AssignRight != nil {
+//     return spec.AssignRight(...)
+//     }
+//     return spec.AssignLeft(...)
+//
+//   - a map literal keyed by Side that initializes both keys.
+//
+// Matching is by type name: any defined type named "Side" counts, with
+// Left and Right recognized by their constant values 0 and 1. A case
+// or key whose value the type checker cannot evaluate to a constant
+// disables the check for that statement rather than guessing.
+package sidesym
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"fudj/internal/analysis/framework"
+)
+
+// Analyzer is the sidesym rule.
+var Analyzer = &framework.Analyzer{
+	Name: "sidesym",
+	Doc: "dispatch on core.Side must handle both Left and Right (or carry a " +
+		"default/else), so asymmetric joins cannot silently skip one side",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	// elseIf collects if-statements that appear as the else branch of
+	// another if; they are judged as part of the outer chain.
+	elseIf := make(map[*ast.IfStmt]bool)
+	for _, file := range pass.NonTestFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if ifs, ok := n.(*ast.IfStmt); ok {
+				if inner, ok := ifs.Else.(*ast.IfStmt); ok {
+					elseIf[inner] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.IfStmt:
+				if !elseIf[n] {
+					checkIfChain(pass, n)
+				}
+			case *ast.CompositeLit:
+				checkMapLit(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSwitch flags a switch on a Side value that covers one side and
+// has no default.
+func checkSwitch(pass *framework.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isSideType(pass.TypesInfo.TypeOf(sw.Tag)) {
+		return
+	}
+	var left, right, unknown, hasDefault bool
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			switch sideValue(pass, e) {
+			case 0:
+				left = true
+			case 1:
+				right = true
+			default:
+				unknown = true
+			}
+		}
+	}
+	if hasDefault || unknown || (left && right) {
+		return
+	}
+	pass.Reportf(sw.Pos(),
+		"switch on Side handles only the %s side; cover the other side or add a default so an unexpected side fails loudly instead of falling through",
+		handledName(left))
+}
+
+// checkIfChain flags an if/else-if chain testing a Side value that
+// covers only one side, has no terminal else, and whose single-side
+// body falls through: the other side silently skips the side-specific
+// work.
+func checkIfChain(pass *framework.Pass, ifs *ast.IfStmt) {
+	var left, right, finalElse bool
+	for cur := ifs; ; {
+		for _, v := range sideConstsIn(pass, cur.Cond) {
+			if v == 0 {
+				left = true
+			} else {
+				right = true
+			}
+		}
+		next, ok := cur.Else.(*ast.IfStmt)
+		if !ok {
+			finalElse = cur.Else != nil
+			break
+		}
+		cur = next
+	}
+	if finalElse || (left && right) || (!left && !right) {
+		return // explicit other-side path, both sides named, or not a Side chain
+	}
+	for cur := ifs; ; {
+		if len(sideConstsIn(pass, cur.Cond)) > 0 && !terminates(cur.Body) {
+			pass.Reportf(cur.Pos(),
+				"if on Side has no else and its body falls through; the other side silently skips this branch — "+
+					"add an else, handle both sides, or terminate the branch (return/continue/break)")
+			return
+		}
+		next, ok := cur.Else.(*ast.IfStmt)
+		if !ok {
+			return
+		}
+		cur = next
+	}
+}
+
+// sideConstsIn collects the constant Side values (0 or 1) compared with
+// == or != anywhere in cond.
+func sideConstsIn(pass *framework.Pass, cond ast.Expr) []int64 {
+	var out []int64
+	ast.Inspect(cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if bin.Op == token.EQL || bin.Op == token.NEQ {
+			if isSideType(pass.TypesInfo.TypeOf(bin.X)) || isSideType(pass.TypesInfo.TypeOf(bin.Y)) {
+				for _, side := range []ast.Expr{bin.X, bin.Y} {
+					if v := sideValue(pass, side); v >= 0 {
+						out = append(out, v)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkMapLit flags a Side-keyed map literal initializing only one
+// side: a lookup for the missing side yields the zero value with no
+// error.
+func checkMapLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok || !isSideType(m.Key()) {
+		return
+	}
+	var left, right, unknown bool
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return
+		}
+		switch sideValue(pass, kv.Key) {
+		case 0:
+			left = true
+		case 1:
+			right = true
+		default:
+			unknown = true
+		}
+	}
+	if unknown || (left && right) || (!left && !right) {
+		return // dynamic keys, both sides, or an empty map filled later
+	}
+	pass.Reportf(lit.Pos(),
+		"map keyed by Side initializes only the %s side; a lookup for the other side silently yields the zero value — initialize both keys",
+		handledName(left))
+}
+
+// terminates reports whether every path through block ends control
+// flow: return, panic, continue, break, or goto.
+func terminates(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last)
+	case *ast.IfStmt:
+		// if/else where both arms terminate.
+		if elseBlock, ok := last.Else.(*ast.BlockStmt); ok {
+			return terminates(last.Body) && terminates(elseBlock)
+		}
+	}
+	return false
+}
+
+// sideValue evaluates e as a constant Side, returning 0 (Left), 1
+// (Right), or -1 when unknown.
+func sideValue(pass *framework.Pass, e ast.Expr) int64 {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return -1
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok || v < 0 || v > 1 {
+		return -1
+	}
+	return v
+}
+
+// isSideType reports whether t (or its pointer elem / alias target) is
+// a defined type named "Side".
+func isSideType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch n := t.(type) {
+	case *types.Named:
+		return n.Obj().Name() == "Side"
+	case *types.Alias:
+		return isSideType(types.Unalias(n))
+	}
+	return false
+}
+
+func handledName(left bool) string {
+	if left {
+		return "Left"
+	}
+	return "Right"
+}

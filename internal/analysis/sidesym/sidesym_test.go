@@ -1,0 +1,12 @@
+package sidesym_test
+
+import (
+	"testing"
+
+	"fudj/internal/analysis/framework"
+	"fudj/internal/analysis/sidesym"
+)
+
+func TestSideSym(t *testing.T) {
+	framework.RunTest(t, "testdata", sidesym.Analyzer, "a")
+}

@@ -1,0 +1,147 @@
+// Fixture for the sidesym analyzer: dispatch on Side must handle both
+// sides or carry a default/else.
+package a
+
+// Side stands in for core.Side (matched by type name).
+type Side int
+
+// The two sides (matched by constant value).
+const (
+	Left Side = iota
+	Right
+)
+
+type spec struct {
+	assignLeft  func(k int) int
+	assignRight func(k int) int
+}
+
+// --- switch shape ---
+
+func flaggedSwitchOneSide(s Side) int {
+	out := 0
+	switch s { // want `switch on Side handles only the Left side`
+	case Left:
+		out = 1
+	}
+	return out
+}
+
+func okSwitchBothSides(s Side) int {
+	switch s {
+	case Left:
+		return 1
+	case Right:
+		return 2
+	}
+	return 0
+}
+
+func okSwitchDefault(s Side) int {
+	switch s {
+	case Left:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func okSwitchMultiValueCase(s Side) int {
+	switch s {
+	case Left, Right:
+		return 1
+	}
+	return 0
+}
+
+// --- if/else shape ---
+
+func flaggedIfFallsThrough(s Side, sp *spec) int {
+	k := 0
+	if s == Left { // want `if on Side has no else and its body falls through`
+		k = sp.assignLeft(1)
+	}
+	return k // Right silently skips the assignment
+}
+
+func okIfElse(s Side, sp *spec) int {
+	if s == Left {
+		return sp.assignLeft(1)
+	} else {
+		return sp.assignRight(1)
+	}
+}
+
+func okIfTerminates(s Side, sp *spec) int {
+	if s == Right && sp.assignRight != nil {
+		return sp.assignRight(1)
+	}
+	return sp.assignLeft(1) // fall-through IS the left handling
+}
+
+func okElseIfChain(s Side, sp *spec) int {
+	k := 0
+	if s == Left {
+		k = sp.assignLeft(1)
+	} else if s == Right {
+		k = sp.assignRight(1)
+	}
+	return k
+}
+
+func okIfPanics(s Side) int {
+	if s == Right {
+		panic("right side unsupported by this operator")
+	}
+	return 1
+}
+
+func okIfContinues(s Side, keys []int) int {
+	total := 0
+	for _, k := range keys {
+		if s == Right {
+			continue
+		}
+		total += k
+	}
+	return total
+}
+
+func okNotSide(n int) int {
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// --- map-keyed dispatch shape ---
+
+func flaggedMapOneSide(sp *spec) map[Side]func(int) int {
+	return map[Side]func(int) int{ // want `map keyed by Side initializes only the Left side`
+		Left: sp.assignLeft,
+	}
+}
+
+func okMapBothSides(sp *spec) map[Side]func(int) int {
+	return map[Side]func(int) int{
+		Left:  sp.assignLeft,
+		Right: sp.assignRight,
+	}
+}
+
+func okMapEmpty() map[Side]int {
+	return map[Side]int{} // filled dynamically; nothing to judge
+}
+
+func okMapDynamicKey(s Side) map[Side]int {
+	return map[Side]int{s: 1} // non-constant key: no claim either way
+}
+
+func suppressedSwitch(s Side) int {
+	//fudjvet:ignore sidesym -- fixture: right side handled by the caller
+	switch s { // suppressed
+	case Left:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,34 @@
+// Fixture for udfcatch's cross-package fact flow: package a exports
+// NeedsGuard and guarded-parameter facts, and the findings (or their
+// discharge) happen here.
+package b
+
+import "a"
+
+// FlaggedCross calls a's exported unguarded helper: the NeedsGuard fact
+// crossed the package boundary and the obligation lands on this
+// exported, unguarded caller.
+func FlaggedCross(j a.Join) bool { // want `FlaggedCross calls user-defined join code with no deferred core.CatchPanic`
+	return a.FlaggedExported(j)
+}
+
+// okCrossGuarded discharges the imported helper's obligation locally.
+func okCrossGuarded(j a.Join) (res bool, err error) {
+	defer a.CatchPanic("q", &err)
+	res = a.FlaggedExported(j)
+	return res, err
+}
+
+// okCrossGuardedParam: a.GuardedApply's guarded-parameter fact crossed
+// the boundary, so the unguarded closure pass is proven safe.
+func okCrossGuardedParam(j a.Join) bool {
+	res, _ := a.GuardedApply(func() bool { return j.Match(1, 2) })
+	return res
+}
+
+// flaggedCrossDriver hands a's risky partition function to a driver:
+// the hand-off is reported because no guard here can reach the worker
+// goroutine it will run on.
+func flaggedCrossDriver(clus *a.Cluster) error {
+	return clus.Run("q", a.RiskyPartition) // want `a.RiskyPartition calls user-defined join code without an internal panic guard and is handed to a partition driver`
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestUDFCatch(t *testing.T) {
-	framework.RunTest(t, "testdata", udfcatch.Analyzer, "a")
+	framework.RunTest(t, "testdata", udfcatch.Analyzer, "a", "b")
 }

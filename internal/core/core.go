@@ -179,7 +179,6 @@ func DefaultMatch(b1, b2 BucketID) bool { return b1 == b2 }
 func CanonicalPair(j Join, lb, rb []BucketID) (b1, b2 BucketID, ok bool) {
 	for _, x := range lb {
 		for _, y := range rb {
-			//fudjvet:ignore udfcatch -- helper documented to run inside the caller's guarded partition task
 			if j.Match(x, y) {
 				return x, y, true
 			}
@@ -195,8 +194,8 @@ func CanonicalPair(j Join, lb, rb []BucketID) (b1, b2 BucketID, ok bool) {
 // through the partition phase) use CanonicalPair directly and skip the
 // re-assignment.
 func DefaultDedup(j Join, b1 BucketID, leftKey any, b2 BucketID, rightKey any, plan PPlan) bool {
-	lb := j.Assign(Left, leftKey, plan, nil)   //fudjvet:ignore udfcatch -- helper documented to run inside the caller's guarded partition task
-	rb := j.Assign(Right, rightKey, plan, nil) //fudjvet:ignore udfcatch -- helper documented to run inside the caller's guarded partition task
+	lb := j.Assign(Left, leftKey, plan, nil)
+	rb := j.Assign(Right, rightKey, plan, nil)
 	x, y, ok := CanonicalPair(j, lb, rb)
 	if !ok {
 		// The current pair was produced, so a matching pair must exist;

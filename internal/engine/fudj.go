@@ -251,7 +251,6 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 				counters.deduped.Add(1)
 				return out
 			}
-			//fudjvet:ignore udfcatch -- accept runs only inside COMBINE partition closures that defer core.CatchPanic
 		} else if applyDedup && !join.Dedup(b1, l[1].Native(), b2, r[1].Native(), plan) {
 			counters.deduped.Add(1)
 			return out
@@ -279,7 +278,6 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 				rk[i] = rec[1].Native()
 			}
 			counters.candidates.Add(int64(len(ls)) * int64(len(rs)))
-			//fudjvet:ignore udfcatch -- combineBuckets runs only inside COMBINE partition closures that defer core.CatchPanic
 			join.LocalJoin(b1, lk, b2, rk, plan, func(i, k int) {
 				counters.verified.Add(1)
 				out = accept(out, ls[i], rs[k])
@@ -290,7 +288,6 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 			k1 := l[1].Native()
 			for _, r := range rs {
 				counters.candidates.Add(1)
-				//fudjvet:ignore udfcatch -- combineBuckets runs only inside COMBINE partition closures that defer core.CatchPanic
 				if !join.Verify(b1, k1, b2, r[1].Native(), plan) {
 					continue
 				}
