@@ -218,7 +218,7 @@ func BenchmarkRecordWire(b *testing.B) {
 // BenchmarkEndToEndSpatialQuery measures a whole FUDJ query through the
 // engine, the number most comparable to the paper's per-query timings.
 func BenchmarkEndToEndSpatialQuery(b *testing.B) {
-	db := fudj.MustOpen(fudj.OptionsFor(2, 2))
+	db := fudj.MustOpen(fudj.WithCluster(2, 2))
 	if err := fudj.LoadGenerated(db, "parks", fudj.GenParks(1, 1000)); err != nil {
 		b.Fatal(err)
 	}

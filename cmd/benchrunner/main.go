@@ -27,6 +27,7 @@ func main() {
 		cores  = flag.Int("cores", 2, "cores per node")
 		seed   = flag.Int64("seed", 42, "data generation seed")
 		budget = flag.Duration("budget", 20*time.Second, "per-run budget before an arm is marked DNF")
+		jsout  = flag.String("json", "", "path for experiments that write a JSON artifact")
 		list   = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -39,11 +40,12 @@ func main() {
 	}
 
 	cfg := bench.Config{
-		Scale:  *scale,
-		Nodes:  *nodes,
-		Cores:  *cores,
-		Seed:   *seed,
-		Budget: *budget,
+		Scale:   *scale,
+		Nodes:   *nodes,
+		Cores:   *cores,
+		Seed:    *seed,
+		Budget:  *budget,
+		JSONOut: *jsout,
 	}
 	if err := bench.Run(*exp, cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)

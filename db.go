@@ -14,16 +14,11 @@ import (
 // shared-nothing cluster queries execute on.
 type DB = engine.Database
 
-// Option configures a DB at Open time. Options are applied in order;
-// the first error aborts Open.
+// Option configures a DB. Options are applied in order; the first
+// error aborts. Pass them to Open, or to DB.Configure to reconfigure a
+// live database between queries (open-only options — the admission
+// scheduler, clock, and always-on tracing — are rejected there).
 type Option = engine.Option
-
-// Options configure a DB.
-//
-// Deprecated: pass functional options to Open instead, e.g.
-// Open(WithCluster(4, 2)). Options is kept for one release as a
-// compatibility shim; it implements Option.
-type Options = engine.Options
 
 // ClusterConfig sizes the simulated cluster (nodes × cores per node).
 type ClusterConfig = cluster.Config
@@ -55,11 +50,6 @@ type SchedStats = engine.SchedStats
 // waiting, totals, lease high-water mark); read it with
 // DB.SchedulerStats.
 type SchedulerStats = sched.Stats
-
-// QueryStats carries operator-level counters for one execution.
-//
-// Deprecated: use JoinStats (Result.Join).
-type QueryStats = engine.Stats
 
 // Span is one node of an execution trace; Result.Trace is the root.
 type Span = trace.Span
@@ -191,6 +181,13 @@ func WithSmartTheta(on bool) Option { return engine.WithSmartTheta(on) }
 // Zero means unbounded.
 func WithMemoryBudget(bytes int64) Option { return engine.WithMemoryBudget(bytes) }
 
+// WithBatchSize caps the rows per columnar frame on the execution hot
+// path (shuffle, spill, checkpoints). The default (n <= 0) is 1024
+// rows; WithBatchSize(1) selects record-at-a-time framing, the
+// pre-batching baseline. Batch counters come back on Result.Join
+// (Batches, BatchRows, RowsPerBatch(), PoolReuse()).
+func WithBatchSize(n int) Option { return engine.WithBatchSize(n) }
+
 // WithCheckpoints enables durable phase barriers: the broadcast plan
 // and every partition's post-shuffle input are checkpointed, so a
 // node killed at a barrier recovers in place instead of forcing the
@@ -245,16 +242,3 @@ func WithQueryTimeout(d time.Duration) ExecOption { return engine.Timeout(d) }
 //
 //	res, err := db.Execute(sql, fudj.WithPriority(fudj.PriorityHigh))
 func WithPriority(p Priority) ExecOption { return engine.Priority(p) }
-
-// DefaultOptions returns a laptop-scale cluster configuration
-// (4 nodes × 2 cores).
-//
-// Deprecated: call Open with no options, or use WithCluster.
-func DefaultOptions() Options { return engine.DefaultOptions() }
-
-// OptionsFor returns options for an explicit cluster shape.
-//
-// Deprecated: use WithCluster(nodes, coresPerNode).
-func OptionsFor(nodes, coresPerNode int) Options {
-	return Options{Cluster: ClusterConfig{Nodes: nodes, CoresPerNode: coresPerNode}}
-}

@@ -54,7 +54,7 @@ func max64(a, b int64) int64 {
 // ExampleDB_Execute shows the engine path: load data, install a
 // shipped join library, CREATE JOIN, and query through SQL.
 func ExampleDB_Execute() {
-	db := fudj.MustOpen(fudj.OptionsFor(2, 2))
+	db := fudj.MustOpen(fudj.WithCluster(2, 2))
 
 	schema := fudj.NewSchema(
 		fudj.Field{Name: "id", Kind: fudj.KindInt64},

@@ -97,7 +97,7 @@ func TestPublicStandalone(t *testing.T) {
 }
 
 func TestPublicEndToEnd(t *testing.T) {
-	db := fudj.MustOpen(fudj.OptionsFor(2, 2))
+	db := fudj.MustOpen(fudj.WithCluster(2, 2))
 
 	// Generate and load the synthetic datasets.
 	parks := fudj.GenParks(1, 300)
@@ -155,7 +155,7 @@ func TestPublicEndToEnd(t *testing.T) {
 }
 
 func TestPublicCustomJoinInEngine(t *testing.T) {
-	db := fudj.MustOpen(fudj.OptionsFor(2, 1))
+	db := fudj.MustOpen(fudj.WithCluster(2, 1))
 
 	// A dataset of [start,end] ranges carried as intervals.
 	schema := fudj.NewSchema(
@@ -200,7 +200,7 @@ func TestPublicCustomJoinInEngine(t *testing.T) {
 }
 
 func TestPublicBuiltins(t *testing.T) {
-	db := fudj.MustOpen(fudj.OptionsFor(2, 1))
+	db := fudj.MustOpen(fudj.WithCluster(2, 1))
 	if err := fudj.LoadGenerated(db, "parks", fudj.GenParks(3, 40)); err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestPublicBuiltins(t *testing.T) {
 // the trajectory closeness FUDJ against its on-top st_distance
 // formulation.
 func TestPublicTrajectoryJoin(t *testing.T) {
-	db := fudj.MustOpen(fudj.OptionsFor(2, 2))
+	db := fudj.MustOpen(fudj.WithCluster(2, 2))
 	if err := fudj.LoadGenerated(db, "trips", fudj.GenTrajectories(41, 250)); err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestPublicTrajectoryJoin(t *testing.T) {
 }
 
 func TestPublicStorageRoundTrip(t *testing.T) {
-	db := fudj.MustOpen(fudj.OptionsFor(1, 2))
+	db := fudj.MustOpen(fudj.WithCluster(1, 2))
 	if err := fudj.LoadGenerated(db, "parks", fudj.GenParks(5, 30)); err != nil {
 		t.Fatal(err)
 	}

@@ -171,3 +171,67 @@ func okMin(d *Decoder, bound int) []byte {
 	n, _ := d.Uvarint()
 	return make([]byte, min(int(n), bound))
 }
+
+// Batch-frame headers, modeling types.DecodeBatch: a columnar frame
+// carries a column count (width) and a row count, and the decoder
+// allocates rows*width cells. Both prefixes must come through
+// UvarintCount — width costs one tag byte per column, and every row
+// costs at least width payload bytes — so the product is bounded by
+// the frame's actual size.
+
+type Value struct{ kind byte }
+
+func flaggedBatchWidthRaw(d *Decoder) ([]byte, error) {
+	width, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, width), nil // want `make sized by width`
+}
+
+func flaggedBatchCellsRaw(d *Decoder) ([]Value, error) {
+	width, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	cells := int(rows) * int(width)
+	return make([]Value, cells), nil // want `make sized by cells`
+}
+
+// flaggedBatchRowsRaw checks the column count but not the row count:
+// the arena is still unbounded in rows.
+func flaggedBatchRowsRaw(d *Decoder) ([]Value, error) {
+	width, err := d.UvarintCount(1)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return make([]Value, int(rows)*width), nil // want `make sized by int\(rows\) \* width`
+}
+
+// okBatchHeaderChecked is the shape the real decoder uses: width is
+// bounded by its tag bytes, rows by the per-row payload floor (at
+// least width bytes each, one pad byte per row for width 0), so the
+// rows*width arena never exceeds the frame's byte count.
+func okBatchHeaderChecked(d *Decoder) ([]Value, error) {
+	width, err := d.UvarintCount(1)
+	if err != nil {
+		return nil, err
+	}
+	rowFloor := width
+	if rowFloor < 1 {
+		rowFloor = 1
+	}
+	rows, err := d.UvarintCount(rowFloor)
+	if err != nil {
+		return nil, err
+	}
+	return make([]Value, rows*width), nil
+}

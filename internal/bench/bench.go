@@ -27,6 +27,7 @@ type Config struct {
 	Seed    int64         // RNG seed for data generation
 	Budget  time.Duration // per-run wall budget; slower arms are marked DNF
 	Verbose bool
+	JSONOut string // when set, experiments that produce artifacts write JSON here
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -100,7 +101,7 @@ type env struct {
 // joins created, and built-in operators registered. Extra options
 // (admission limits, memory pools) are applied after the cluster shape.
 func newEnv(cfg Config, parks, fires, rides, reviews int, opts ...fudj.Option) (*env, error) {
-	db, err := fudj.Open(append([]fudj.Option{fudj.OptionsFor(cfg.Nodes, cfg.Cores)}, opts...)...)
+	db, err := fudj.Open(append([]fudj.Option{fudj.WithCluster(cfg.Nodes, cfg.Cores)}, opts...)...)
 	if err != nil {
 		return nil, err
 	}

@@ -38,7 +38,7 @@ func init() {
 }
 
 func trajEnv(cfg Config, n int) (*fudj.DB, error) {
-	db, err := fudj.Open(fudj.OptionsFor(cfg.Nodes, cfg.Cores))
+	db, err := fudj.Open(fudj.WithCluster(cfg.Nodes, cfg.Cores))
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +206,7 @@ func runExtraDistance(cfg Config, w io.Writer) error {
 	dead := false
 	var rows [][]string
 	for _, n := range sizes {
-		db, err := fudj.Open(fudj.OptionsFor(cfg.Nodes, cfg.Cores))
+		db, err := fudj.Open(fudj.WithCluster(cfg.Nodes, cfg.Cores))
 		if err != nil {
 			return err
 		}

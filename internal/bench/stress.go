@@ -202,7 +202,9 @@ func RunStress(cfg StressConfig, w io.Writer) (*StressReport, error) {
 	if cfg.Faults {
 		// A light probabilistic crash storm on top: tasks die and the
 		// retry machinery re-runs them mid-contention.
-		db.SetFaultConfig(&fudj.FaultConfig{Seed: cfg.Seed + 99, CrashProb: 0.03})
+		if err := db.Configure(fudj.WithFaults(&fudj.FaultConfig{Seed: cfg.Seed + 99, CrashProb: 0.03})); err != nil {
+			return nil, err
+		}
 	}
 
 	// With Net set, the storm crosses a real loopback TCP socket into

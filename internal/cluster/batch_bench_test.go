@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"testing"
+
+	"fudj/internal/types"
+)
+
+// benchShuffleRecords builds the row shape ExchangeHash moves on the
+// hash path for an equi-join COUNT(*): three int64 columns — bucket
+// id, join key, and the row id.
+func benchShuffleRecords(n int) []types.Record {
+	recs := make([]types.Record, n)
+	for i := range recs {
+		recs[i] = types.Record{
+			types.NewInt64(int64(i) % 512),
+			types.NewInt64(int64(i) % 997),
+			types.NewInt64(int64(i)),
+		}
+	}
+	return recs
+}
+
+// BenchmarkCombineDeliver measures the COMBINE input edge of the hash
+// path: delivering one partition's shuffled outbox across a node
+// boundary — per-frame serialization, corruption bookkeeping, metrics,
+// and record materialization on the receive side — at the default
+// batch size against record-at-a-time framing (WithBatchSize(1), the
+// pre-batching baseline).
+func BenchmarkCombineDeliver(b *testing.B) {
+	recs := benchShuffleRecords(60000)
+	for _, arm := range []struct {
+		name string
+		bs   int
+	}{{"batched", 0}, {"record", 1}} {
+		b.Run(arm.name, func(b *testing.B) {
+			c := New(Config{Nodes: 2, CoresPerNode: 1})
+			c.SetBatchSize(arm.bs)
+			outbox := make([][][]types.Record, c.Partitions())
+			for src := range outbox {
+				outbox[src] = make([][]types.Record, c.Partitions())
+			}
+			outbox[0][1] = recs // every record crosses the node boundary
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				out, err := c.deliver(outbox)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out[1]) != len(recs) {
+					b.Fatal("row count mismatch")
+				}
+			}
+		})
+	}
+}

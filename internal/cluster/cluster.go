@@ -87,9 +87,16 @@ type Cluster struct {
 	qctx      context.Context
 	epoch     atomic.Int64
 	memBudget int64 // total bytes across all partitions; 0 = unbounded
+	batchSize int   // max rows per serialized shuffle frame
+	pool      *types.BatchPool
 	clock     trace.Clock
 	span      *trace.Span // current parent span for cluster ops; nil = untraced
 }
+
+// DefaultBatchSize is the row cap for one serialized shuffle frame: a
+// batch this size amortizes frame dispatch while a corruption resend
+// only repeats one frame, not the whole transfer.
+const DefaultBatchSize = 1024
 
 // New builds a cluster, panicking on invalid configuration (a harness
 // bug, not a runtime condition).
@@ -98,12 +105,27 @@ func New(cfg Config) *Cluster {
 		panic(err)
 	}
 	return &Cluster{
-		cfg:     cfg,
-		metrics: newMetrics(cfg.Partitions()),
-		retry:   DefaultRetryPolicy(),
-		clock:   trace.WallClock{},
+		cfg:       cfg,
+		metrics:   newMetrics(cfg.Partitions()),
+		retry:     DefaultRetryPolicy(),
+		batchSize: DefaultBatchSize,
+		pool:      types.NewBatchPool(),
+		clock:     trace.WallClock{},
 	}
 }
+
+// SetBatchSize caps the rows carried by one serialized shuffle frame.
+// n = 1 degenerates to record-at-a-time framing (the batching-off
+// baseline); n < 1 restores the default.
+func (c *Cluster) SetBatchSize(n int) {
+	if n < 1 {
+		n = DefaultBatchSize
+	}
+	c.batchSize = n
+}
+
+// BatchSize returns the per-frame row cap.
+func (c *Cluster) BatchSize() int { return c.batchSize }
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -460,6 +482,14 @@ func (c *Cluster) Replicate(data Data) (Data, error) {
 	return c.deliver(outbox)
 }
 
+// Deliver moves a fully built outbox[src][dst] into the destination
+// partitions — the shuffle delivery edge, without the exchange's
+// outbox-building side. The benchmark harness times this edge
+// directly; exchanges route through it via deliver.
+func (c *Cluster) Deliver(outbox [][][]types.Record) (Data, error) {
+	return c.deliver(outbox)
+}
+
 // deliver moves outbox[src][dst] into the destination partitions,
 // serializing cross-node traffic. A corrupted cross-node payload
 // (injected, or a genuine decode failure) is resent from the source's
@@ -487,7 +517,40 @@ func (c *Cluster) deliver(outbox [][][]types.Record) (Data, error) {
 		sp.Add("shuffle.records", c.metrics.RecordsShuffled()-r0)
 		sp.End()
 	}
+	gets, hits := c.pool.Stats()
+	c.metrics.setBatchPool(gets, hits)
 	return out, err
+}
+
+// transferFrame serializes one columnar frame across a node boundary,
+// injecting corruption and resending up to the attempt budget. Every
+// attempt, including resends, is charged to the shuffle and batch
+// counters. enc and dec are the caller's scratch batches (pooled so
+// vector capacity survives across frames).
+func (c *Cluster) transferFrame(epoch int64, src, dst int, frame []types.Record, frameIdx int64, maxAttempts int, enc, dec *types.Batch) ([]types.Record, error) {
+	fi := c.faults
+	var decoded []types.Record
+	var err error
+	attempt := 0
+	for ; attempt < maxAttempts; attempt++ {
+		buf := types.EncodeBatch(frame, enc)
+		if fi != nil && fi.corrupt(epoch, int64(src), int64(dst), frameIdx*131071+int64(attempt)) {
+			buf = corruptPayload(buf)
+		}
+		c.metrics.addShuffle(int64(len(buf)), int64(len(frame)))
+		c.metrics.addBatch(int64(len(frame)))
+		if decoded, err = types.DecodeBatch(buf, dec); err == nil {
+			break
+		}
+		c.metrics.addRetry()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shuffle %d->%d decode failed after %d attempts: %w", src, dst, attempt, err)
+	}
+	if attempt > 0 {
+		c.metrics.addCorruptHealed()
+	}
+	return decoded, nil
 }
 
 func (c *Cluster) deliverSequential(outbox [][][]types.Record) (Data, error) {
@@ -502,6 +565,9 @@ func (c *Cluster) deliverSequential(outbox [][][]types.Record) (Data, error) {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
+	enc, dec := c.pool.Get(0), c.pool.Get(0)
+	defer c.pool.Put(enc)
+	defer c.pool.Put(dec)
 	out := c.NewData()
 	for src := 0; src < p; src++ {
 		if err := ctx.Err(); err != nil {
@@ -513,27 +579,22 @@ func (c *Cluster) deliverSequential(outbox [][][]types.Record) (Data, error) {
 				continue
 			}
 			if c.NodeOf(src) != c.NodeOf(dst) {
-				var decoded []types.Record
-				var err error
-				attempt := 0
-				for ; attempt < maxAttempts; attempt++ {
-					buf := types.EncodeRecords(batch)
-					if fi != nil && fi.corrupt(epoch, int64(src), int64(dst), int64(attempt)) {
-						buf = corruptPayload(buf)
+				// One columnar frame per batchSize rows; a corrupted
+				// frame is resent alone, so the resend cost stays at
+				// frame granularity.
+				for lo, frameIdx := 0, int64(0); lo < len(batch); frameIdx++ {
+					hi := lo + c.batchSize
+					if hi > len(batch) {
+						hi = len(batch)
 					}
-					c.metrics.addShuffle(int64(len(buf)), int64(len(batch)))
-					if decoded, err = types.DecodeRecords(buf); err == nil {
-						break
+					decoded, err := c.transferFrame(epoch, src, dst, batch[lo:hi], frameIdx, maxAttempts, enc, dec)
+					if err != nil {
+						return nil, err
 					}
-					c.metrics.addRetry()
+					out[dst] = append(out[dst], decoded...)
+					lo = hi
 				}
-				if err != nil {
-					return nil, fmt.Errorf("cluster: shuffle %d->%d decode failed after %d attempts: %w", src, dst, attempt, err)
-				}
-				if attempt > 0 {
-					c.metrics.addCorruptHealed()
-				}
-				batch = decoded
+				continue
 			}
 			out[dst] = append(out[dst], batch...)
 		}

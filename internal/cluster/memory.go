@@ -14,7 +14,6 @@
 package cluster
 
 import (
-	"fmt"
 	"sync"
 
 	"fudj/internal/types"
@@ -198,9 +197,12 @@ func (c *Cluster) deliverBounded(outbox [][][]types.Record) (Data, error) {
 		wg.Add(1)
 		go func(src int) {
 			defer wg.Done()
+			enc, dec := c.pool.Get(0), c.pool.Get(0)
+			defer c.pool.Put(enc)
+			defer c.pool.Put(dec)
 			for dst := 0; dst < p; dst++ {
 				if batch := outbox[src][dst]; len(batch) > 0 {
-					if err := c.sendBounded(epoch, src, dst, batch, inboxes[dst], chunkTarget, maxAttempts); err != nil {
+					if err := c.sendBounded(epoch, src, dst, batch, inboxes[dst], chunkTarget, maxAttempts, enc, dec); err != nil {
 						fail(err)
 						return
 					}
@@ -249,50 +251,39 @@ func (c *Cluster) deliverBounded(outbox [][][]types.Record) (Data, error) {
 
 // sendBounded transfers one source→destination batch through the
 // bounded inbox, splitting it into chunks no larger than chunkTarget
-// estimated bytes. Cross-node chunks are serialized, fault-injected,
-// and resent on corruption exactly like the sequential path.
-func (c *Cluster) sendBounded(epoch int64, src, dst int, batch []types.Record, in *inbox, chunkTarget int64, maxAttempts int) error {
+// estimated bytes and no longer than the cluster's frame row cap.
+// Cross-node chunks travel as columnar frames, fault-injected and
+// resent on corruption exactly like the sequential path. enc and dec
+// are the sender's pooled scratch batches.
+func (c *Cluster) sendBounded(epoch int64, src, dst int, batch []types.Record, in *inbox, chunkTarget int64, maxAttempts int, enc, dec *types.Batch) error {
 	crossNode := c.NodeOf(src) != c.NodeOf(dst)
-	fi := c.faults
 	lo := 0
 	for chunkIdx := 0; lo < len(batch); chunkIdx++ {
 		hi := lo
 		var size int64
-		for hi < len(batch) {
+		windowSplit := false
+		for hi < len(batch) && hi-lo < c.batchSize {
 			sz := batch[hi].MemSize()
 			if hi > lo && size+sz > chunkTarget {
+				windowSplit = true
 				break
 			}
 			size += sz
 			hi++
 		}
-		if chunkIdx > 0 {
+		if windowSplit {
 			// The receive window forced this batch apart: backpressure
-			// shaped the transfer. (Counted once per extra chunk.)
+			// shaped the transfer. (Counted once per window-forced cut;
+			// cuts at the frame row cap are ordinary framing, not
+			// backpressure.)
 			c.metrics.addBackpressure()
 		}
 		chunk := batch[lo:hi]
 		lo = hi
 		if crossNode {
-			var decoded []types.Record
-			var err error
-			attempt := 0
-			for ; attempt < maxAttempts; attempt++ {
-				buf := types.EncodeRecords(chunk)
-				if fi != nil && fi.corrupt(epoch, int64(src), int64(dst), int64(chunkIdx)*131071+int64(attempt)) {
-					buf = corruptPayload(buf)
-				}
-				c.metrics.addShuffle(int64(len(buf)), int64(len(chunk)))
-				if decoded, err = types.DecodeRecords(buf); err == nil {
-					break
-				}
-				c.metrics.addRetry()
-			}
+			decoded, err := c.transferFrame(epoch, src, dst, chunk, int64(chunkIdx), maxAttempts, enc, dec)
 			if err != nil {
-				return fmt.Errorf("cluster: shuffle %d->%d decode failed after %d attempts: %w", src, dst, attempt, err)
-			}
-			if attempt > 0 {
-				c.metrics.addCorruptHealed()
+				return err
 			}
 			chunk = decoded
 			size = types.RecordsMemSize(chunk)

@@ -39,6 +39,15 @@ const (
 	MetricBackpressure   = "backpressure"
 	MetricTaskBusy       = "task.busy"
 
+	// Batched-execution counters (PR 9). Batches/BatchRows count the
+	// columnar frames serialized across node boundaries and the rows
+	// they carried; the pool gauges mirror the shuffle batch pool's
+	// cumulative get/hit totals so a reuse ratio can be reported.
+	MetricBatches       = "batch.count"
+	MetricBatchRows     = "batch.rows"
+	MetricBatchPoolGets = "batch.pool.gets"
+	MetricBatchPoolHits = "batch.pool.hits"
+
 	// Checkpoint/recovery counters (PR 5). CheckpointRecovered counts
 	// partitions restored from a durable checkpoint instead of
 	// recomputed; CheckpointDiscarded counts checkpoints that failed
@@ -82,11 +91,14 @@ func newMetrics(parts int) *Metrics {
 		MetricBucketsSplit, MetricBackpressure,
 		MetricCheckpointBytes, MetricCheckpointRecovered,
 		MetricCheckpointDiscarded, MetricBarrierKills,
+		MetricBatches, MetricBatchRows,
 	} {
 		m.slot(name, KindCounter)
 	}
 	m.slot(MetricMemReserved, KindGauge)
 	m.slot(MetricMemInput, KindGauge)
+	m.slot(MetricBatchPoolGets, KindGauge)
+	m.slot(MetricBatchPoolHits, KindGauge)
 	m.slot(MetricTaskBusy, KindHistogram)
 	m.busy = make([]time.Duration, parts)
 	m.mu.Unlock()
@@ -254,6 +266,11 @@ type Snapshot struct {
 	CheckpointRecovered int64
 	CheckpointDiscarded int64
 	BarrierKills        int64
+
+	Batches       int64
+	BatchRows     int64
+	BatchPoolGets int64
+	BatchPoolHits int64
 }
 
 // Snapshot reads the core counters atomically with respect to writers:
@@ -302,6 +319,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		CheckpointRecovered: val(MetricCheckpointRecovered),
 		CheckpointDiscarded: val(MetricCheckpointDiscarded),
 		BarrierKills:        val(MetricBarrierKills),
+
+		Batches:       val(MetricBatches),
+		BatchRows:     val(MetricBatchRows),
+		BatchPoolGets: val(MetricBatchPoolGets),
+		BatchPoolHits: val(MetricBatchPoolHits),
 	}
 }
 
@@ -430,6 +452,40 @@ func (m *Metrics) addShuffle(bytes, recs int64) {
 	m.vals[m.slot(MetricShuffleRecords, KindCounter)] += recs
 	m.mu.Unlock()
 }
+
+// addBatch records one serialized columnar frame and the rows it
+// carried.
+func (m *Metrics) addBatch(rows int64) {
+	m.mu.Lock()
+	m.vals[m.slot(MetricBatches, KindCounter)]++
+	m.vals[m.slot(MetricBatchRows, KindCounter)] += rows
+	m.mu.Unlock()
+}
+
+// setBatchPool mirrors the batch pool's cumulative get/hit totals into
+// the registry (the pool keeps its own counters; the registry holds
+// the published copy a Snapshot reads consistently).
+func (m *Metrics) setBatchPool(gets, hits int64) {
+	m.mu.Lock()
+	for _, kv := range [2]struct {
+		name string
+		v    int64
+	}{{MetricBatchPoolGets, gets}, {MetricBatchPoolHits, hits}} {
+		i := m.slot(kv.name, KindGauge)
+		m.vals[i] = kv.v
+		if kv.v > m.peaks[i] {
+			m.peaks[i] = kv.v
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Batches returns the number of columnar frames serialized across node
+// boundaries (including corruption resends).
+func (m *Metrics) Batches() int64 { return m.counterValue(MetricBatches) }
+
+// BatchRows returns the rows carried by those frames.
+func (m *Metrics) BatchRows() int64 { return m.counterValue(MetricBatchRows) }
 
 // CheckpointBytes returns the bytes written to durable checkpoints at
 // phase barriers.

@@ -150,11 +150,11 @@ func TestQueryTimeoutStructuredError(t *testing.T) {
 	tmp := t.TempDir()
 	t.Setenv("TMPDIR", tmp)
 	db := newTestDB(t, WithMemoryBudget(64<<20))
-	db.SetFaultConfig(&cluster.FaultConfig{
+	db.MustConfigure(WithFaults(&cluster.FaultConfig{
 		Seed:           1,
 		StragglerNodes: []int{0, 1},
 		StragglerDelay: 400 * time.Millisecond,
-	})
+	}))
 	_, err := db.Execute(chaosQueries[0].sql, Timeout(25*time.Millisecond))
 	var te *TimeoutError
 	if !errors.As(err, &te) {
@@ -296,15 +296,15 @@ func TestConcurrentExecuteWithMutatorsIsRaceFree(t *testing.T) {
 				return
 			default:
 			}
-			db.SetMemoryBudget(int64(i%2) * (64 << 20))
+			db.MustConfigure(WithMemoryBudget(int64(i%2) * (64 << 20)))
 			db.SetCheckpoints(i%2 == 0)
 			db.SetSmartTheta(i%2 == 0)
 			if i%2 == 0 {
-				db.SetFaultConfig(&cluster.FaultConfig{Seed: int64(i)})
+				db.MustConfigure(WithFaults(&cluster.FaultConfig{Seed: int64(i)}))
 			} else {
-				db.SetFaultConfig(nil)
+				db.MustConfigure(WithFaults(nil))
 			}
-			db.SetRetryPolicy(chaosRetry())
+			db.MustConfigure(WithRetryPolicy(chaosRetry()))
 			time.Sleep(200 * time.Microsecond)
 		}
 	}()

@@ -68,8 +68,8 @@ func TestChaosEquivalence(t *testing.T) {
 		baseline[q.name] = res.Rows
 	}
 
-	db.SetFaultConfig(chaosConfig(1))
-	db.SetRetryPolicy(chaosRetry())
+	db.MustConfigure(WithFaults(chaosConfig(1)))
+	db.MustConfigure(WithRetryPolicy(chaosRetry()))
 	var healed int64
 	for _, q := range chaosQueries {
 		res := mustQuery(t, db, q.sql)
@@ -93,8 +93,8 @@ func TestChaosEquivalence(t *testing.T) {
 // replays the same faults, so two chaos runs agree with each other.
 func TestChaosDeterminism(t *testing.T) {
 	db := newTestDB(t)
-	db.SetFaultConfig(chaosConfig(777))
-	db.SetRetryPolicy(chaosRetry())
+	db.MustConfigure(WithFaults(chaosConfig(777)))
+	db.MustConfigure(WithRetryPolicy(chaosRetry()))
 	first := mustQuery(t, db, chaosQueries[0].sql)
 	second := mustQuery(t, db, chaosQueries[0].sql)
 	sameRows(t, "chaos determinism", first.Rows, second.Rows)
@@ -103,12 +103,12 @@ func TestChaosDeterminism(t *testing.T) {
 // TestChaosDisarm verifies a nil fault config turns injection back off.
 func TestChaosDisarm(t *testing.T) {
 	db := newTestDB(t)
-	db.SetFaultConfig(chaosConfig(1))
-	db.SetRetryPolicy(chaosRetry())
+	db.MustConfigure(WithFaults(chaosConfig(1)))
+	db.MustConfigure(WithRetryPolicy(chaosRetry()))
 	if res := mustQuery(t, db, chaosQueries[2].sql); res.Faults.Retries == 0 {
 		t.Fatal("armed run saw no retries")
 	}
-	db.SetFaultConfig(nil)
+	db.MustConfigure(WithFaults(nil))
 	if res := mustQuery(t, db, chaosQueries[2].sql); res.Faults.Retries != 0 {
 		t.Errorf("disarmed run still retried %d times", res.Faults.Retries)
 	}
@@ -151,11 +151,11 @@ func TestQueryDeadlineMidFlight(t *testing.T) {
 	base := runtime.NumGoroutine()
 	// Both nodes straggle for 400ms with no speculation: the query can
 	// only finish by blowing its 30ms deadline inside the injected delay.
-	db.SetFaultConfig(&cluster.FaultConfig{
+	db.MustConfigure(WithFaults(&cluster.FaultConfig{
 		Seed:           1,
 		StragglerNodes: []int{0, 1},
 		StragglerDelay: 400 * time.Millisecond,
-	})
+	}))
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
@@ -173,11 +173,11 @@ func TestQueryDeadlineMidFlight(t *testing.T) {
 func TestQueryCancelMidFlight(t *testing.T) {
 	db := newTestDB(t)
 	base := runtime.NumGoroutine()
-	db.SetFaultConfig(&cluster.FaultConfig{
+	db.MustConfigure(WithFaults(&cluster.FaultConfig{
 		Seed:           1,
 		StragglerNodes: []int{0, 1},
 		StragglerDelay: 400 * time.Millisecond,
-	})
+	}))
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(25 * time.Millisecond)
@@ -308,7 +308,7 @@ func TestUDFPanicNotRetried(t *testing.T) {
 	if _, err := db.Execute(`CREATE JOIN panic_assign2(a: int, b: int) RETURNS boolean AS "test.PanicAssign" AT paniclib`); err != nil {
 		t.Fatal(err)
 	}
-	db.SetRetryPolicy(cluster.RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond})
+	db.MustConfigure(WithRetryPolicy(cluster.RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond}))
 	_, err := db.Execute(`SELECT n1.id FROM rides n1, rides n2 WHERE panic_assign2(n1.vendor, n2.vendor)`)
 	if err == nil {
 		t.Fatal("query should fail")

@@ -43,8 +43,8 @@ func TestDrainRacesCheckpointRecovery(t *testing.T) {
 	cfg := barrierKillConfig(cluster.BarrierShuffle, 1)
 	cfg.StragglerNodes = []int{0}
 	cfg.StragglerDelay = 30 * time.Millisecond
-	db.SetFaultConfig(cfg)
-	db.SetRetryPolicy(chaosRetry())
+	db.MustConfigure(WithFaults(cfg))
+	db.MustConfigure(WithRetryPolicy(chaosRetry()))
 
 	type outcome struct {
 		res *Result
@@ -131,15 +131,15 @@ func TestDrainCancelsStuckRecovery(t *testing.T) {
 	cfg := barrierKillConfig(cluster.BarrierShuffle, 1)
 	cfg.StragglerNodes = []int{0, 1}
 	cfg.StragglerDelay = 2 * time.Second
-	db.SetFaultConfig(cfg)
+	db.MustConfigure(WithFaults(cfg))
 	// No speculation: with every node straggling, a speculative copy is
 	// the only thing that could rescue the query, and this test needs
 	// it genuinely stuck so the drain deadline is the decider.
-	db.SetRetryPolicy(cluster.RetryPolicy{
+	db.MustConfigure(WithRetryPolicy(cluster.RetryPolicy{
 		MaxAttempts: 8,
 		BaseBackoff: 50 * time.Microsecond,
 		MaxBackoff:  time.Millisecond,
-	})
+	}))
 
 	done := make(chan error, 1)
 	go func() {

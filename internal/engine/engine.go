@@ -64,6 +64,7 @@ type Database struct {
 	retryPol   *cluster.RetryPolicy
 	memBudget  int64
 	ckpt       bool
+	batchSize  int // shuffle/spill frame row cap; 0 = cluster default
 }
 
 // Open creates a database. With no options it mirrors the paper's
@@ -104,6 +105,38 @@ func MustOpen(opts ...Option) *Database {
 
 // Catalog exposes the metadata store.
 func (db *Database) Catalog() *catalog.Catalog { return db.catalog }
+
+// Configure applies options to a live database, affecting subsequent
+// queries only: settings are snapshotted per query, so a Configure
+// call mid-flight flips the NEXT query, never a running one. The same
+// Option values Open accepts work here, except options shaping state
+// fixed at Open (the admission scheduler, the clock, always-on
+// tracing) — those are rejected with an error naming the option, and
+// options before the failing one stay applied.
+func (db *Database) Configure(opts ...Option) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if oo, ok := o.(openOnlyOption); ok {
+			return fmt.Errorf("engine: option %s can only be set at Open", oo.name)
+		}
+		if err := o.applyOption(db); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustConfigure is Configure that panics on error, for tests and
+// examples.
+func (db *Database) MustConfigure(opts ...Option) {
+	if err := db.Configure(opts...); err != nil {
+		panic(err)
+	}
+}
 
 // SetJoinMode switches between FUDJ and built-in execution of FUDJ
 // predicates.
@@ -155,46 +188,6 @@ func (db *Database) RegisterBuiltinJoin(name string, op BuiltinJoinFunc) {
 	db.builtins[name] = op
 }
 
-// SetFaultConfig arms fault injection for subsequent queries.
-//
-// Deprecated: pass WithFaults to Open instead. Kept as a thin shim for
-// one release.
-func (db *Database) SetFaultConfig(cfg *cluster.FaultConfig) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if cfg == nil {
-		db.faultCfg = nil
-		return
-	}
-	c := *cfg
-	db.faultCfg = &c
-}
-
-// SetRetryPolicy overrides the cluster's task retry policy for
-// subsequent queries (backoff shape, attempt cap, speculation).
-//
-// Deprecated: pass WithRetryPolicy to Open instead. Kept as a thin
-// shim for one release.
-func (db *Database) SetRetryPolicy(pol cluster.RetryPolicy) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.retryPol = &pol
-}
-
-// SetMemoryBudget bounds the transient memory of subsequent queries to
-// the given total bytes, split evenly over partitions.
-//
-// Deprecated: pass WithMemoryBudget to Open instead. Kept as a thin
-// shim for one release.
-func (db *Database) SetMemoryBudget(bytes int64) {
-	if bytes < 0 {
-		bytes = 0
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.memBudget = bytes
-}
-
 // MemoryBudget reports the configured per-query budget (0 = unbounded).
 func (db *Database) MemoryBudget() int64 {
 	db.mu.RLock()
@@ -214,6 +207,7 @@ type execSettings struct {
 	retryPol   *cluster.RetryPolicy
 	memBudget  int64
 	ckpt       bool
+	batchSize  int
 }
 
 // settings snapshots the mutable execution settings.
@@ -238,6 +232,7 @@ func (db *Database) settings() execSettings {
 		retryPol:   rp,
 		memBudget:  db.memBudget,
 		ckpt:       db.ckpt,
+		batchSize:  db.batchSize,
 	}
 }
 
@@ -287,12 +282,32 @@ type JoinStats struct {
 	SummarizeTime time.Duration
 	PartitionTime time.Duration
 	CombineTime   time.Duration
+
+	// Batched execution: columnar frames moved by shuffle and spill
+	// (see WithBatchSize), and the scratch-batch pool's reuse funnel.
+	Batches       int64 // columnar frames encoded on the hot path
+	BatchRows     int64 // records carried by those frames
+	BatchPoolGets int64 // scratch batches requested from the pool
+	BatchPoolHits int64 // requests served by reuse instead of allocation
 }
 
-// Stats is the former name of JoinStats.
-//
-// Deprecated: use JoinStats (Result.Join).
-type Stats = JoinStats
+// RowsPerBatch reports the mean rows per encoded frame (0 when no
+// frame was encoded).
+func (s JoinStats) RowsPerBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchRows) / float64(s.Batches)
+}
+
+// PoolReuse reports the fraction of scratch-batch requests served from
+// the pool (0 when none were made).
+func (s JoinStats) PoolReuse() float64 {
+	if s.BatchPoolGets == 0 {
+		return 0
+	}
+	return float64(s.BatchPoolHits) / float64(s.BatchPoolGets)
+}
 
 // ClusterStats carries the simulated cluster's transport and compute
 // counters for one execution.

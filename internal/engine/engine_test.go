@@ -23,7 +23,7 @@ import (
 // and their joins created.
 func newTestDB(t *testing.T, opts ...Option) *Database {
 	t.Helper()
-	all := append([]Option{Options{Cluster: cluster.Config{Nodes: 2, CoresPerNode: 2}}}, opts...)
+	all := append([]Option{WithClusterConfig(cluster.Config{Nodes: 2, CoresPerNode: 2})}, opts...)
 	db := MustOpen(all...)
 	rng := rand.New(rand.NewSource(99))
 
@@ -678,7 +678,7 @@ func TestMultiKeyOrderByAndLimitZero(t *testing.T) {
 }
 
 func TestSumMixedNumericWidening(t *testing.T) {
-	db := MustOpen(Options{Cluster: cluster.Config{Nodes: 2, CoresPerNode: 1}})
+	db := MustOpen(WithClusterConfig(cluster.Config{Nodes: 2, CoresPerNode: 1}))
 	schema := types.NewSchema(
 		types.Field{Name: "g", Kind: types.KindInt64},
 		types.Field{Name: "v", Kind: types.KindFloat64},

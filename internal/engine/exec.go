@@ -33,6 +33,7 @@ func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts, ticket *
 	clus.SetClock(db.clock)
 	clus.SetSpan(root)
 	clus.SetContext(ctx)
+	clus.SetBatchSize(set.batchSize)
 	if set.retryPol != nil {
 		clus.SetRetryPolicy(*set.retryPol)
 	}
@@ -228,12 +229,17 @@ func (p *queryPlan) run(ctx context.Context, db *Database, eo execOpts, ticket *
 		}
 	}
 	m := reg.Snapshot()
+	join := counters.snapshot()
+	join.Batches = m.Batches
+	join.BatchRows = m.BatchRows
+	join.BatchPoolGets = m.BatchPoolGets
+	join.BatchPoolHits = m.BatchPoolHits
 	res := &Result{
 		Schema:  p.outSchema,
 		Rows:    rows,
 		Plan:    p.explain(),
 		Elapsed: db.clock.Now().Sub(start),
-		Join:    counters.snapshot(),
+		Join:    join,
 		Cluster: ClusterStats{
 			BytesShuffled:   m.BytesShuffled,
 			RecordsShuffled: m.RecordsShuffled,

@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"fudj/internal/cluster"
 	"fudj/internal/core"
@@ -266,29 +265,22 @@ func (db *Database) runFUDJ(ctx context.Context, clus *cluster.Cluster, counters
 
 	// combineBuckets joins one matched bucket pair, through the join's
 	// custom local algorithm when it provides one (§VII-F), or the
-	// verify loop otherwise.
-	combineBuckets := func(out []types.Record, b1 int, ls []types.Record, b2 int, rs []types.Record) []types.Record {
+	// verify loop otherwise. Both paths read the groups' cached key
+	// columns, so no key is boxed more than once per record.
+	combineBuckets := func(out []types.Record, b1 int, ls *bucketGroup, b2 int, rs *bucketGroup) []types.Record {
 		if desc.LocalJoin {
-			lk := make([]any, len(ls))
-			for i, rec := range ls {
-				lk[i] = rec[1].Native()
-			}
-			rk := make([]any, len(rs))
-			for i, rec := range rs {
-				rk[i] = rec[1].Native()
-			}
-			counters.candidates.Add(int64(len(ls)) * int64(len(rs)))
-			join.LocalJoin(b1, lk, b2, rk, plan, func(i, k int) {
+			counters.candidates.Add(int64(len(ls.recs)) * int64(len(rs.recs)))
+			join.LocalJoin(b1, ls.keys, b2, rs.keys, plan, func(i, k int) {
 				counters.verified.Add(1)
-				out = accept(out, ls[i], rs[k])
+				out = accept(out, ls.recs[i], rs.recs[k])
 			})
 			return out
 		}
-		for _, l := range ls {
-			k1 := l[1].Native()
-			for _, r := range rs {
+		for i, l := range ls.recs {
+			k1 := ls.keys[i]
+			for k, r := range rs.recs {
 				counters.candidates.Add(1)
-				if !join.Verify(b1, k1, b2, r[1].Native(), plan) {
+				if !join.Verify(b1, k1, b2, rs.keys[k], plan) {
 					continue
 				}
 				counters.verified.Add(1)
@@ -490,24 +482,6 @@ func listBuckets(v types.Value) []core.BucketID {
 		out[i] = int(e.Int64())
 	}
 	return out
-}
-
-func groupByBucket(recs []types.Record) map[int][]types.Record {
-	out := make(map[int][]types.Record)
-	for _, r := range recs {
-		id := int(r[0].Int64())
-		out[id] = append(out[id], r)
-	}
-	return out
-}
-
-func sortedIDs(m map[int][]types.Record) []int {
-	ids := make([]int, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
 }
 
 // schemaWidth returns the field count of the first record, or -1 when

@@ -5,9 +5,11 @@ import (
 	"fudj/internal/trace"
 )
 
-// Option configures a Database at Open time. Options compose left to
-// right; later options win. The legacy Options struct also satisfies
-// this interface, so pre-redesign call sites keep compiling.
+// Option configures a Database. Options compose left to right; later
+// options win. Most options may also be applied to a live Database
+// with Configure; the exceptions — options that shape state fixed at
+// Open, like the admission scheduler or the clock — are rejected there
+// with an error naming the option.
 type Option interface {
 	applyOption(db *Database) error
 }
@@ -16,6 +18,16 @@ type Option interface {
 type optionFunc func(*Database) error
 
 func (f optionFunc) applyOption(db *Database) error { return f(db) }
+
+// openOnlyOption marks an option usable at Open but not Configure:
+// it configures state (scheduler, clock, tracing) fixed for the
+// Database's lifetime.
+type openOnlyOption struct {
+	name string
+	fn   func(*Database) error
+}
+
+func (o openOnlyOption) applyOption(db *Database) error { return o.fn(db) }
 
 // WithCluster sizes the simulated cluster (nodes × cores per node).
 func WithCluster(nodes, coresPerNode int) Option {
@@ -75,24 +87,24 @@ func WithMemoryBudget(bytes int64) Option {
 // with a retryable *sched.AdmissionError. Zero or negative leaves
 // concurrency unbounded.
 func WithConcurrencyLimit(n int) Option {
-	return optionFunc(func(db *Database) error {
+	return openOnlyOption{name: "WithConcurrencyLimit", fn: func(db *Database) error {
 		if n > 0 {
 			db.schedCfg.MaxConcurrent = n
 		}
 		return nil
-	})
+	}}
 }
 
 // WithQueueDepth bounds the admission queue (across all priorities).
 // Waiters beyond the bound are shed immediately. Zero or negative
 // selects sched.DefaultQueueDepth.
 func WithQueueDepth(n int) Option {
-	return optionFunc(func(db *Database) error {
+	return openOnlyOption{name: "WithQueueDepth", fn: func(db *Database) error {
 		if n > 0 {
 			db.schedCfg.QueueDepth = n
 		}
 		return nil
-	})
+	}}
 }
 
 // WithMemoryPool installs a shared memory pool: each admitted query
@@ -105,10 +117,27 @@ func WithQueueDepth(n int) Option {
 // leases never exceeds the pool. Zero or negative disables pooling
 // (each query uses WithMemoryBudget alone, unguarded globally).
 func WithMemoryPool(bytes int64) Option {
-	return optionFunc(func(db *Database) error {
+	return openOnlyOption{name: "WithMemoryPool", fn: func(db *Database) error {
 		if bytes > 0 {
 			db.schedCfg.Pool = bytes
 		}
+		return nil
+	}}
+}
+
+// WithBatchSize caps the rows per columnar frame on the execution hot
+// path: shuffle transfers, spill runs, and checkpoints all move record
+// batches of at most n rows. The default (n <= 0, or
+// cluster.DefaultBatchSize = 1024 rows) suits most workloads;
+// WithBatchSize(1) degenerates to record-at-a-time framing — the
+// pre-batching baseline, kept exercisable for identity tests and
+// benchmarks.
+func WithBatchSize(n int) Option {
+	return optionFunc(func(db *Database) error {
+		if n < 0 {
+			n = 0
+		}
+		db.batchSize = n
 		return nil
 	})
 }
@@ -156,40 +185,20 @@ func WithRetryPolicy(pol cluster.RetryPolicy) Option {
 // carries its root span in Result.Trace. Per-query tracing is the
 // Trace exec option instead.
 func WithTracing() Option {
-	return optionFunc(func(db *Database) error {
+	return openOnlyOption{name: "WithTracing", fn: func(db *Database) error {
 		db.tracing = true
 		return nil
-	})
+	}}
 }
 
 // WithClock injects the clock used for all execution timing (elapsed,
 // phase times, busy time, span timestamps). Tests install a
 // deterministic trace.FakeClock; the default is the wall clock.
 func WithClock(c trace.Clock) Option {
-	return optionFunc(func(db *Database) error {
+	return openOnlyOption{name: "WithClock", fn: func(db *Database) error {
 		if c != nil {
 			db.clock = c
 		}
 		return nil
-	})
-}
-
-// Options is the legacy configuration struct. It satisfies Option, so
-// Open(Options{...}) and Open(OptionsFor(n, c)) keep working.
-//
-// Deprecated: pass WithCluster / WithClusterConfig to Open instead.
-type Options struct {
-	Cluster cluster.Config
-}
-
-func (o Options) applyOption(db *Database) error {
-	return WithClusterConfig(o.Cluster).applyOption(db)
-}
-
-// DefaultOptions mirror the paper's testbed shape at laptop scale:
-// 4 nodes with 2 cores each.
-//
-// Deprecated: Open() with no options already uses this shape.
-func DefaultOptions() Options {
-	return Options{Cluster: cluster.Config{Nodes: 4, CoresPerNode: 2}}
+	}}
 }

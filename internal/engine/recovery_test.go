@@ -56,7 +56,7 @@ func TestCheckpointRecoveryAtShuffleBarrier(t *testing.T) {
 	for _, q := range chaosQueries {
 		t.Run(q.name, func(t *testing.T) {
 			db.SetCheckpoints(false)
-			db.SetFaultConfig(nil)
+			db.MustConfigure(WithFaults(nil))
 			base, err := db.Execute(q.sql, Trace())
 			if err != nil {
 				t.Fatal(err)
@@ -70,7 +70,7 @@ func TestCheckpointRecoveryAtShuffleBarrier(t *testing.T) {
 			}
 
 			db.SetCheckpoints(true)
-			db.SetFaultConfig(barrierKillConfig(cluster.BarrierShuffle, 1))
+			db.MustConfigure(WithFaults(barrierKillConfig(cluster.BarrierShuffle, 1)))
 			res, err := db.Execute(q.sql, Trace())
 			if err != nil {
 				t.Fatal(err)
@@ -112,8 +112,8 @@ func TestRecoveryAbortRerunWithoutCheckpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db.SetRetryPolicy(chaosRetry())
-	db.SetFaultConfig(barrierKillConfig(cluster.BarrierShuffle, 1))
+	db.MustConfigure(WithRetryPolicy(chaosRetry()))
+	db.MustConfigure(WithFaults(barrierKillConfig(cluster.BarrierShuffle, 1)))
 	res, err := db.Execute(q.sql, Trace())
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +151,7 @@ func TestCheckpointRecoveryHealsDamage(t *testing.T) {
 			cfg := barrierKillConfig(cluster.BarrierShuffle, 1)
 			tc.arm(cfg)
 			db.SetCheckpoints(true)
-			db.SetFaultConfig(cfg)
+			db.MustConfigure(WithFaults(cfg))
 			res := mustQuery(t, db, chaosQueries[0].sql)
 			sameRows(t, tc.name, res.Rows, base.Rows)
 			if res.Faults.CheckpointsDiscarded == 0 {
@@ -174,7 +174,7 @@ func TestKillAtBarrierMatrix(t *testing.T) {
 		for _, b := range []cluster.Barrier{cluster.BarrierPlan, cluster.BarrierShuffle} {
 			for node := 0; node < 2; node++ {
 				name := fmt.Sprintf("%s/%s-node%d", q.name, b, node)
-				db.SetFaultConfig(barrierKillConfig(b, node))
+				db.MustConfigure(WithFaults(barrierKillConfig(b, node)))
 				res := mustQuery(t, db, q.sql)
 				sameRows(t, name, res.Rows, base.Rows)
 				if res.Faults.BarrierKills != 1 {
@@ -186,7 +186,7 @@ func TestKillAtBarrierMatrix(t *testing.T) {
 			}
 		}
 		db.SetCheckpoints(false)
-		db.SetFaultConfig(nil)
+		db.MustConfigure(WithFaults(nil))
 	}
 }
 
@@ -198,12 +198,12 @@ func TestCheckpointRecoverySweepsTempFiles(t *testing.T) {
 	t.Setenv("TMPDIR", tmp)
 	db := newTestDB(t)
 	db.SetCheckpoints(true)
-	db.SetMemoryBudget(64 << 20)
+	db.MustConfigure(WithMemoryBudget(64 << 20))
 	cfg := chaosConfig(5)
 	cfg.BarrierKills = []cluster.BarrierKill{{Barrier: cluster.BarrierShuffle, Node: 0}}
 	cfg.TornWriteProb = 0.2
-	db.SetFaultConfig(cfg)
-	db.SetRetryPolicy(chaosRetry())
+	db.MustConfigure(WithFaults(cfg))
+	db.MustConfigure(WithRetryPolicy(chaosRetry()))
 	for _, q := range chaosQueries {
 		mustQuery(t, db, q.sql)
 	}
@@ -224,12 +224,12 @@ func TestRecoveryCancelledQuerySweepsTempFiles(t *testing.T) {
 	t.Setenv("TMPDIR", tmp)
 	db := newTestDB(t)
 	db.SetCheckpoints(true)
-	db.SetMemoryBudget(64 << 20)
-	db.SetFaultConfig(&cluster.FaultConfig{
+	db.MustConfigure(WithMemoryBudget(64 << 20))
+	db.MustConfigure(WithFaults(&cluster.FaultConfig{
 		Seed:           1,
 		StragglerNodes: []int{0, 1},
 		StragglerDelay: 400 * time.Millisecond,
-	})
+	}))
 	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
 	defer cancel()
 	if _, err := db.ExecuteContext(ctx, chaosQueries[0].sql); err == nil {

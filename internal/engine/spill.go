@@ -59,8 +59,9 @@ func newMemState(clus *cluster.Cluster) (*memState, func(), error) {
 
 // combineFn joins one matched bucket pair, appending joined records —
 // the combineBuckets closure runFUDJ builds over VERIFY/LocalJoin and
-// duplicate handling.
-type combineFn func(out []types.Record, b1 int, ls []types.Record, b2 int, rs []types.Record) []types.Record
+// duplicate handling. Groups carry their key columns pre-unboxed (see
+// bucketGroup), so implementations never call Native() per pair.
+type combineFn func(out []types.Record, b1 int, ls *bucketGroup, b2 int, rs *bucketGroup) []types.Record
 
 // partAcct tracks one partition task's budget-charged bytes, mirroring
 // every reservation into the cluster-wide gauge so PeakMemory is
@@ -131,7 +132,7 @@ func boundedCombine(mem *memState, joinName string, part int,
 	}
 
 	// ---- build pass: group the build side under the budget ----
-	resident := make(map[int][]types.Record)
+	resident := make(map[int]*bucketGroup)
 	residentBytes := make(map[int]int64)
 	evict := func(b int) error {
 		bs, err := newSpill()
@@ -139,7 +140,7 @@ func boundedCombine(mem *memState, joinName string, part int,
 			return err
 		}
 		spilled[b] = bs // register before Append so the deferred Remove covers a write failure
-		if err := bs.left.Append(resident[b]...); err != nil {
+		if err := bs.left.Append(resident[b].recs...); err != nil {
 			return err
 		}
 		acct.release(residentBytes[b])
@@ -189,7 +190,12 @@ func boundedCombine(mem *memState, joinName string, part int,
 			continue
 		}
 		acct.reserve(sz)
-		resident[b] = append(resident[b], r)
+		g := resident[b]
+		if g == nil {
+			g = &bucketGroup{}
+			resident[b] = g
+		}
+		g.add(r)
 		residentBytes[b] += sz
 	}
 
@@ -206,9 +212,13 @@ func boundedCombine(mem *memState, joinName string, part int,
 	// route the rest to their bucket's probe run ----
 	for _, r := range probe {
 		b2 := int(r[0].Int64())
+		var pg *bucketGroup // built lazily: only probes that hit a resident bucket unbox their key
 		for _, b1 := range matcher(b2, buildIDs) {
 			if ls, ok := resident[b1]; ok {
-				out = combine(out, b1, ls, b2, []types.Record{r})
+				if pg == nil {
+					pg = singleGroup(r)
+				}
+				out = combine(out, b1, ls, b2, pg)
 			} else if bs := spilled[b1]; bs != nil {
 				if err := bs.right.Append(r); err != nil {
 					return nil, err
@@ -274,7 +284,7 @@ func joinSpilledBucket(mem *memState, acct *partAcct, out []types.Record,
 	for {
 		// Accumulate the next build chunk under the budget (always at
 		// least one record, so progress is guaranteed).
-		var ls []types.Record
+		ls := &bucketGroup{}
 		var lsBytes int64
 		for {
 			r, ok, err := cur.peek()
@@ -285,14 +295,14 @@ func joinSpilledBucket(mem *memState, acct *partAcct, out []types.Record,
 				break
 			}
 			sz := r.MemSize()
-			if len(ls) > 0 && lsBytes+sz > mem.perPart {
+			if len(ls.recs) > 0 && lsBytes+sz > mem.perPart {
 				break
 			}
 			cur.advance()
-			ls = append(ls, r)
+			ls.add(r)
 			lsBytes += sz
 		}
-		if len(ls) == 0 {
+		if len(ls.recs) == 0 {
 			break
 		}
 		chunks++
@@ -314,7 +324,7 @@ func joinSpilledBucket(mem *memState, acct *partAcct, out []types.Record,
 				}
 				for _, r := range frame {
 					b2 := int(r[0].Int64())
-					out = combine(out, b1, ls, b2, []types.Record{r})
+					out = combine(out, b1, ls, b2, singleGroup(r))
 				}
 			}
 		}()

@@ -26,7 +26,7 @@ func TestBoundedEquivalence(t *testing.T) {
 		baseline[q.name] = mustQuery(t, db, q.sql).Rows
 	}
 
-	db.SetMemoryBudget(tinyBudget)
+	db.MustConfigure(WithMemoryBudget(tinyBudget))
 	for _, q := range chaosQueries {
 		res := mustQuery(t, db, q.sql)
 		sameRows(t, q.name+" under budget", res.Rows, baseline[q.name])
@@ -57,7 +57,7 @@ func TestBoundedSmartThetaEquivalence(t *testing.T) {
 	baseline := mustQuery(t, db, sql).Rows
 
 	db.SetSmartTheta(true)
-	db.SetMemoryBudget(tinyBudget)
+	db.MustConfigure(WithMemoryBudget(tinyBudget))
 	res := mustQuery(t, db, sql)
 	sameRows(t, "smart theta under budget", res.Rows, baseline)
 	if res.Memory.BytesSpilled == 0 {
@@ -78,9 +78,9 @@ func TestBoundedWithFaults(t *testing.T) {
 		baseline[q.name] = mustQuery(t, db, q.sql).Rows
 	}
 
-	db.SetMemoryBudget(tinyBudget)
-	db.SetFaultConfig(chaosConfig(42))
-	db.SetRetryPolicy(chaosRetry())
+	db.MustConfigure(WithMemoryBudget(tinyBudget))
+	db.MustConfigure(WithFaults(chaosConfig(42)))
+	db.MustConfigure(WithRetryPolicy(chaosRetry()))
 	for _, q := range chaosQueries {
 		res := mustQuery(t, db, q.sql)
 		sameRows(t, q.name+" under budget+chaos", res.Rows, baseline[q.name])
@@ -105,7 +105,7 @@ func TestUnboundedUnchanged(t *testing.T) {
 		res.Memory.SpillRuns != 0 || res.Memory.BucketsSplit != 0 || res.Memory.Backpressure != 0 {
 		t.Errorf("unbounded run reported memory counters: %+v", res)
 	}
-	db.SetMemoryBudget(-5) // negative clamps to unbounded
+	db.MustConfigure(WithMemoryBudget(-5)) // negative clamps to unbounded
 	if db.MemoryBudget() != 0 {
 		t.Error("negative budget should clamp to 0")
 	}
@@ -141,7 +141,7 @@ func TestBucketSplitOnSkew(t *testing.T) {
 	if len(baseline.Rows) != 20*20 {
 		t.Fatalf("baseline rows = %d, want 400", len(baseline.Rows))
 	}
-	db.SetMemoryBudget(tinyBudget)
+	db.MustConfigure(WithMemoryBudget(tinyBudget))
 	res := mustQuery(t, db, sql)
 	sameRows(t, "skew split", res.Rows, baseline.Rows)
 	if res.Memory.BucketsSplit == 0 {
@@ -168,7 +168,7 @@ func TestResourceErrorOnMonsterRecord(t *testing.T) {
 	if err := db.CreateDataset("monster", schema, recs); err != nil {
 		t.Fatal(err)
 	}
-	db.SetMemoryBudget(tinyBudget) // hard cap = 2 * 8192/4 = 4096 bytes
+	db.MustConfigure(WithMemoryBudget(tinyBudget)) // hard cap = 2 * 8192/4 = 4096 bytes
 	_, err := db.Execute(`
 		SELECT a.id, b.id FROM monster a, monster b
 		WHERE text_similarity_join(a.body, b.body, 0.5)`)

@@ -28,7 +28,7 @@ import (
 // Every matched pair is processed exactly once (at the owner of its
 // left bucket), so no result is produced twice.
 func (db *Database) runSmartTheta(clus *cluster.Cluster, mem *memState, join core.Join,
-	combineBuckets func(out []types.Record, b1 int, ls []types.Record, b2 int, rs []types.Record) []types.Record,
+	combineBuckets combineFn,
 	lAssigned, rAssigned cluster.Data) (cluster.Data, error) {
 
 	countBuckets := func(data cluster.Data) (map[int]int64, error) {

@@ -36,7 +36,7 @@ func TestSmartThetaConcurrentWithCheckpointedQueries(t *testing.T) {
 	if len(thetaBase.Rows) == 0 || len(hashBase.Rows) == 0 {
 		t.Fatal("baselines produced no rows")
 	}
-	db.SetFaultConfig(barrierKillConfig(cluster.BarrierShuffle, 1))
+	db.MustConfigure(WithFaults(barrierKillConfig(cluster.BarrierShuffle, 1)))
 
 	type outcome struct {
 		name string
@@ -107,8 +107,8 @@ func TestSmartThetaBarrierLossFallsBackRetryable(t *testing.T) {
 	// No checkpoints + kill at the plan barrier: the recovery manager
 	// has no store, so the loss aborts the step and the retry machinery
 	// re-runs it.
-	db.SetRetryPolicy(chaosRetry())
-	db.SetFaultConfig(barrierKillConfig(cluster.BarrierPlan, 1))
+	db.MustConfigure(WithRetryPolicy(chaosRetry()))
+	db.MustConfigure(WithFaults(barrierKillConfig(cluster.BarrierPlan, 1)))
 
 	var wg sync.WaitGroup
 	errs := make([]error, 4)

@@ -15,7 +15,7 @@ import (
 // against, with the overlapping-interval FUDJ installed.
 func chaosDB(t *testing.T) *engine.Database {
 	t.Helper()
-	db := engine.MustOpen(engine.Options{Cluster: cluster.Config{Nodes: 3, CoresPerNode: 2}})
+	db := engine.MustOpen(engine.WithClusterConfig(cluster.Config{Nodes: 3, CoresPerNode: 2}))
 	rng := rand.New(rand.NewSource(6))
 	schema := types.NewSchema(
 		types.Field{Name: "id", Kind: types.KindInt64},
@@ -78,19 +78,19 @@ func TestChaosEquivalence(t *testing.T) {
 		t.Fatal("fault-free run produced no rows")
 	}
 
-	db.SetFaultConfig(&cluster.FaultConfig{
+	db.MustConfigure(engine.WithFaults(&cluster.FaultConfig{
 		Seed:           5,
 		CrashProb:      0.2,
 		StragglerNodes: []int{0},
 		StragglerDelay: 10 * time.Millisecond,
 		CorruptProb:    0.05,
-	})
-	db.SetRetryPolicy(cluster.RetryPolicy{
+	}))
+	db.MustConfigure(engine.WithRetryPolicy(cluster.RetryPolicy{
 		MaxAttempts:      8,
 		BaseBackoff:      50 * time.Microsecond,
 		MaxBackoff:       time.Millisecond,
 		SpeculativeAfter: 2 * time.Millisecond,
-	})
+	}))
 	chaos, err := db.Execute(chaosQuery)
 	if err != nil {
 		t.Fatalf("chaos run failed: %v", err)
@@ -113,13 +113,13 @@ func TestMemoryBoundedChaos(t *testing.T) {
 	}
 
 	const budget = 12288 // 2KB per partition on 6 partitions
-	db.SetMemoryBudget(budget)
-	db.SetFaultConfig(&cluster.FaultConfig{Seed: 9, CrashProb: 0.2})
-	db.SetRetryPolicy(cluster.RetryPolicy{
+	db.MustConfigure(engine.WithMemoryBudget(budget))
+	db.MustConfigure(engine.WithFaults(&cluster.FaultConfig{Seed: 9, CrashProb: 0.2}))
+	db.MustConfigure(engine.WithRetryPolicy(cluster.RetryPolicy{
 		MaxAttempts: 8,
 		BaseBackoff: 50 * time.Microsecond,
 		MaxBackoff:  time.Millisecond,
-	})
+	}))
 	bounded, err := db.Execute(chaosQuery)
 	if err != nil {
 		t.Fatalf("memory-bounded chaos run failed: %v", err)

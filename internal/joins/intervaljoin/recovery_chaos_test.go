@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fudj/internal/cluster"
+	"fudj/internal/engine"
 )
 
 // TestCheckpointRecovery is the checkpointed-execution acceptance for
@@ -31,10 +32,10 @@ func TestCheckpointRecovery(t *testing.T) {
 		{"shuffle", cluster.BarrierShuffle},
 	} {
 		t.Run(kill.name, func(t *testing.T) {
-			db.SetFaultConfig(&cluster.FaultConfig{
+			db.MustConfigure(engine.WithFaults(&cluster.FaultConfig{
 				Seed:         6,
 				BarrierKills: []cluster.BarrierKill{{Barrier: kill.b, Node: 1}},
-			})
+			}))
 			res, err := db.Execute(chaosQuery)
 			if err != nil {
 				t.Fatalf("barrier-kill run failed: %v", err)
@@ -53,11 +54,11 @@ func TestCheckpointRecovery(t *testing.T) {
 	}
 
 	t.Run("damaged", func(t *testing.T) {
-		db.SetFaultConfig(&cluster.FaultConfig{
+		db.MustConfigure(engine.WithFaults(&cluster.FaultConfig{
 			Seed:          6,
 			BarrierKills:  []cluster.BarrierKill{{Barrier: cluster.BarrierShuffle, Node: 1}},
 			TornWriteProb: 1,
-		})
+		}))
 		res, err := db.Execute(chaosQuery)
 		if err != nil {
 			t.Fatalf("damaged-checkpoint run failed: %v", err)

@@ -228,6 +228,13 @@ func TestServeParseErrorNotRetried(t *testing.T) {
 
 func TestServeDeadlinePropagation(t *testing.T) {
 	ts := startServer(t, serve.Config{}, nil)
+	// Straggle both nodes far past the deadline so even the batched
+	// hot path cannot finish the demo join before it expires.
+	ts.db.MustConfigure(fudj.WithFaults(&fudj.FaultConfig{
+		Seed:           1,
+		StragglerNodes: []int{0, 1},
+		StragglerDelay: 300 * time.Millisecond,
+	}))
 	// Raw request with a 1ms budget and no client-side deadline: only
 	// the server can enforce it, proving the header actually derives
 	// the query context.

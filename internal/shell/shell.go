@@ -33,7 +33,7 @@ func DefaultConfig() Config {
 // Setup opens a database per the config: libraries installed, demo
 // datasets loaded, joins created, and built-in operators registered.
 func Setup(cfg Config) (*fudj.DB, error) {
-	db, err := fudj.Open(fudj.OptionsFor(cfg.Nodes, cfg.Cores))
+	db, err := fudj.Open(fudj.WithCluster(cfg.Nodes, cfg.Cores))
 	if err != nil {
 		return nil, err
 	}

@@ -12,8 +12,8 @@
 //	terminator uvarint(0)   | frames uint64 LE  | crc32(frames) LE
 //
 // A frame payload is either one encoded record batch
-// (types.EncodeRecords) or an opaque blob; the caller knows which it
-// stored. The explicit terminator makes truncation detectable — a
+// (types.EncodeBatch, columnar where the records allow it) or an
+// opaque blob; the caller knows which it stored. The explicit terminator makes truncation detectable — a
 // reader that hits EOF before a valid terminator reports corruption
 // rather than silently returning a prefix — and the per-frame CRC
 // catches bit rot and torn page writes inside a frame.
@@ -187,6 +187,7 @@ type CheckpointWriter struct {
 	w       *bufio.Writer
 	dst     string // published path, set at Close
 	pending []types.Record
+	scratch *types.Batch // column staging reused across frames
 	bytes   int64
 	frames  uint64
 	done    bool
@@ -200,7 +201,7 @@ func (s *CheckpointStore) NewCheckpointWriter(key string) (*CheckpointWriter, er
 	if err != nil {
 		return nil, fmt.Errorf("storage: create checkpoint temp: %w", err)
 	}
-	w := &CheckpointWriter{f: f, w: bufio.NewWriter(f), dst: s.Path(key)}
+	w := &CheckpointWriter{f: f, w: bufio.NewWriter(f), dst: s.Path(key), scratch: types.NewBatch(0)}
 	if _, err := w.w.WriteString(checkpointMagic); err != nil {
 		w.Abort()
 		return nil, fmt.Errorf("storage: write checkpoint magic: %w", err)
@@ -239,7 +240,7 @@ func (cw *CheckpointWriter) flushFrame() error {
 	if len(cw.pending) == 0 {
 		return nil
 	}
-	payload := types.EncodeRecords(cw.pending)
+	payload := types.EncodeBatch(cw.pending, cw.scratch)
 	cw.pending = cw.pending[:0]
 	return cw.writeFrame(payload)
 }
@@ -314,12 +315,13 @@ func (cw *CheckpointWriter) Abort() {
 // after a valid terminator; any earlier end of file, bad magic, or
 // checksum mismatch is a *CorruptError.
 type CheckpointReader struct {
-	f      *os.File
-	r      *bufio.Reader
-	path   string
-	size   int64 // total file size, bounds any frame's claimed length
-	frames uint64
-	ended  bool // valid terminator seen
+	f       *os.File
+	r       *bufio.Reader
+	path    string
+	scratch *types.Batch // column staging reused across frames
+	size    int64        // total file size, bounds any frame's claimed length
+	frames  uint64
+	ended   bool // valid terminator seen
 }
 
 // OpenCheckpoint opens a published checkpoint for reading, verifying
@@ -334,7 +336,7 @@ func OpenCheckpoint(path string) (*CheckpointReader, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat checkpoint: %w", err)
 	}
-	cr := &CheckpointReader{f: f, r: bufio.NewReader(f), path: path, size: fi.Size()}
+	cr := &CheckpointReader{f: f, r: bufio.NewReader(f), path: path, scratch: types.NewBatch(0), size: fi.Size()}
 	magic := make([]byte, len(checkpointMagic))
 	if _, err := io.ReadFull(cr.r, magic); err != nil || string(magic) != checkpointMagic {
 		f.Close()
@@ -395,7 +397,7 @@ func (cr *CheckpointReader) Next() ([]types.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs, err := types.DecodeRecords(payload)
+	recs, err := types.DecodeBatch(payload, cr.scratch)
 	if err != nil {
 		// The checksum passed, so this is a frame that never held
 		// records (e.g. a blob checkpoint read as records).

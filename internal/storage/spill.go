@@ -29,7 +29,8 @@ type RunWriter struct {
 	f       *os.File
 	w       *bufio.Writer
 	pending []types.Record
-	bytes   int64 // encoded bytes written (including frame headers)
+	scratch *types.Batch // column staging reused across frames
+	bytes   int64        // encoded bytes written (including frame headers)
 	records int64
 	closed  bool
 }
@@ -40,7 +41,7 @@ func NewRunWriter(dir string) (*RunWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: create spill run: %w", err)
 	}
-	return &RunWriter{f: f, w: bufio.NewWriter(f)}, nil
+	return &RunWriter{f: f, w: bufio.NewWriter(f), scratch: types.NewBatch(0)}, nil
 }
 
 // Path returns the run file's path.
@@ -66,12 +67,13 @@ func (rw *RunWriter) Append(recs ...types.Record) error {
 	return nil
 }
 
-// flushFrame encodes and writes the pending batch as one frame.
+// flushFrame encodes and writes the pending batch as one columnar
+// frame.
 func (rw *RunWriter) flushFrame() error {
 	if len(rw.pending) == 0 {
 		return nil
 	}
-	payload := types.EncodeRecords(rw.pending)
+	payload := types.EncodeBatch(rw.pending, rw.scratch)
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
 	if _, err := rw.w.Write(hdr[:n]); err != nil {
@@ -112,9 +114,10 @@ func (rw *RunWriter) Remove() error {
 
 // RunReader streams a spill run back frame by frame.
 type RunReader struct {
-	f    *os.File
-	r    *bufio.Reader
-	size int64 // total file size, bounds any frame's claimed length
+	f       *os.File
+	r       *bufio.Reader
+	scratch *types.Batch // column staging reused across frames
+	size    int64        // total file size, bounds any frame's claimed length
 }
 
 // OpenRun opens a run file written by RunWriter for streaming.
@@ -128,7 +131,7 @@ func OpenRun(path string) (*RunReader, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat spill run: %w", err)
 	}
-	return &RunReader{f: f, r: bufio.NewReader(f), size: fi.Size()}, nil
+	return &RunReader{f: f, r: bufio.NewReader(f), scratch: types.NewBatch(0), size: fi.Size()}, nil
 }
 
 // Next returns the next frame's records, or io.EOF after the last
@@ -147,7 +150,7 @@ func (rr *RunReader) Next() ([]types.Record, error) {
 	if _, err := io.ReadFull(rr.r, payload); err != nil {
 		return nil, fmt.Errorf("storage: spill frame payload: %w", err)
 	}
-	recs, err := types.DecodeRecords(payload)
+	recs, err := types.DecodeBatch(payload, rr.scratch)
 	if err != nil {
 		return nil, fmt.Errorf("storage: spill frame decode: %w", err)
 	}

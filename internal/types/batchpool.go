@@ -1,0 +1,65 @@
+package types
+
+import "sync"
+
+// BatchPool recycles Batch buffers across shuffle frames so the hot
+// path reuses column vectors instead of reallocating them per frame.
+// It keeps a small free list (batches are a few slice headers each;
+// their payload capacity is what's worth keeping warm) and counts gets
+// and free-list hits so the engine can surface a pool reuse ratio.
+type BatchPool struct {
+	mu   sync.Mutex
+	free []*Batch
+	gets int64
+	hits int64
+}
+
+// batchPoolCap bounds the free list; beyond it Put drops the batch for
+// the garbage collector. Shuffle uses a handful of in-flight batches
+// per exchange, so a short list captures the reuse.
+const batchPoolCap = 16
+
+// NewBatchPool returns an empty pool.
+func NewBatchPool() *BatchPool { return &BatchPool{} }
+
+// Get returns a reset batch of the given width, reusing a pooled one
+// when available.
+func (p *BatchPool) Get(width int) *Batch {
+	p.mu.Lock()
+	p.gets++
+	var b *Batch
+	if n := len(p.free); n > 0 {
+		b = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.hits++
+	}
+	p.mu.Unlock()
+	if b == nil {
+		return NewBatch(width)
+	}
+	b.Reset(width)
+	return b
+}
+
+// Put returns a batch to the pool. The caller must not use b after
+// Put; any records materialized from it remain valid (materialization
+// copies into fresh arenas).
+func (p *BatchPool) Put(b *Batch) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < batchPoolCap {
+		p.free = append(p.free, b)
+	}
+	p.mu.Unlock()
+}
+
+// Stats reports the number of Get calls and how many were served from
+// the free list.
+func (p *BatchPool) Stats() (gets, hits int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.hits
+}

@@ -1,11 +1,13 @@
 package types
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"fudj/internal/geo"
 	"fudj/internal/interval"
+	"fudj/internal/wire"
 )
 
 // FuzzDecodeRecords drives the shuffle payload decoder with arbitrary
@@ -52,7 +54,7 @@ func FuzzDecodeRecords(f *testing.F) {
 				t.Fatalf("record %d: field count %d != %d", i, len(again[i]), len(recs[i]))
 			}
 			for j := range recs[i] {
-				if !again[i][j].Equal(recs[i][j]) && !(isNaN(again[i][j]) && isNaN(recs[i][j])) {
+				if !again[i][j].Equal(recs[i][j]) && !sameWire(again[i][j], recs[i][j]) {
 					t.Fatalf("record %d field %d: %v != %v", i, j, again[i][j], recs[i][j])
 				}
 			}
@@ -64,6 +66,17 @@ func FuzzDecodeRecords(f *testing.F) {
 // never Equal to itself).
 func isNaN(v Value) bool {
 	return v.Kind() == KindFloat64 && v.Float64() != v.Float64()
+}
+
+// sameWire reports whether two values have identical wire encodings —
+// the equality that matters for codec round trips. Unlike Equal it
+// treats bit-identical NaNs buried inside composite values (geometry
+// coordinates, interval-derived floats) as equal.
+func sameWire(a, b Value) bool {
+	ea, eb := wire.NewEncoder(32), wire.NewEncoder(32)
+	a.MarshalWire(ea)
+	b.MarshalWire(eb)
+	return bytes.Equal(ea.Bytes(), eb.Bytes())
 }
 
 // FuzzMemSize pins the memory accounting against arbitrary decoded
