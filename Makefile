@@ -9,7 +9,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 FUDJVET = bin/fudjvet
 
-.PHONY: all vet fudjvet build test race chaos chaos-recovery stress serve-chaos bench-batch fuzz staticcheck govulncheck lint-fix-check ci
+.PHONY: all vet fudjvet build test race chaos chaos-recovery stress serve-chaos serve-ha bench-batch bench-serve-ha fuzz staticcheck govulncheck lint-fix-check ci
 
 all: build
 
@@ -75,6 +75,19 @@ serve-chaos:
 	$(GO) test -race -run 'Serve|Frame|Session|Envelope|Taxonomy|Shed|RemoteError|DrainRaces|DrainCancels|StressOverNetwork' \
 		./internal/serve/ ./internal/serve/client/ ./internal/engine/ ./internal/bench/
 
+# serve-ha runs the multi-instance failover suite under the race
+# detector: the rolling-restart chaos storm (three restartable fudjd
+# instances behind a failover pool, each drained and restarted in turn
+# under the seeded fault-injecting listener, then a full-cluster hard
+# restart — zero client-visible failures, multiset-identical results,
+# exec-at-most-once per instance, breaker open/close, empty TMPDIR),
+# the deterministic drain-failover and instance-mismatch re-key tests,
+# the health/readiness probes, and the pool/breaker/backoff/journal
+# unit suites.
+serve-ha:
+	$(GO) test -race -run 'ServeHA|Pool|Breaker|Backoff|Ready|Instance|Journal|Replay|Expiry' \
+		./internal/serve/ ./internal/serve/client/
+
 # bench-batch runs the hash-path COMBINE microbench — batched columnar
 # shuffle frames against record-at-a-time framing — and records the
 # measurement in results/BENCH_batch.json. The experiment fails below a
@@ -82,6 +95,14 @@ serve-chaos:
 # target; the floor is looser so noisy CI neighbors don't flake it).
 bench-batch:
 	$(GO) run ./cmd/benchrunner -exp batch -json results/BENCH_batch.json
+
+# bench-serve-ha runs the client-side failover experiment — steady
+# closed-loop latency vs the first query after the serving instance
+# drains — and records results/BENCH_serve_ha.json. The experiment
+# fails if every query did not succeed, or if no drain failover /
+# re-key was recorded (i.e. the failover arm measured a healthy pair).
+bench-serve-ha:
+	$(GO) run ./cmd/benchrunner -exp serve-ha -json results/BENCH_serve_ha.json
 
 # fuzz smoke-runs every native fuzz target briefly. The committed
 # corpora under testdata/fuzz/ also run as regression seeds in plain

@@ -7,7 +7,15 @@
 //
 // Endpoints: POST /v1/query (frame stream), POST /v1/cancel,
 // GET /v1/queries (live view), GET /v1/catalog, GET /metrics,
-// GET /healthz.
+// GET /v1/health (liveness), GET /v1/ready (readiness — 503 from the
+// start of a drain), GET /healthz (legacy combined probe).
+//
+// Every response carries the daemon's stable instance ID
+// (X-Fudj-Instance), minted at startup (or fixed with -instance-id):
+// idempotent replay records and session catalogs are scoped to one
+// instance, and the header is how clients see that scope change. Run
+// several fudjd instances and point `fudjsh -connect a,b,...` at them
+// for client-side failover.
 //
 // On SIGTERM or SIGINT the daemon drains: new and queued queries are
 // refused with retryable envelopes carrying a retry-after hint,
@@ -48,6 +56,7 @@ func run() int {
 		replayBytes  = flag.Int64("replay-bytes", serve.DefaultReplayBytes, "per-session byte budget for recorded replay responses")
 		retryAfter   = flag.Duration("retry-after", 250*time.Millisecond, "retry-after hint attached to shed refusals")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight queries before cancelling them")
+		instanceID   = flag.String("instance-id", "", "stable instance identity stamped on every response (default: random, minted at startup)")
 	)
 	flag.Parse()
 
@@ -66,6 +75,7 @@ func run() int {
 		SessionIdle:  *sessionIdle,
 		ReplayBytes:  *replayBytes,
 		RetryAfter:   *retryAfter,
+		InstanceID:   *instanceID,
 		ErrorLog:     logger,
 	})
 	if err != nil {
@@ -77,7 +87,7 @@ func run() int {
 		logger.Println(err)
 		return 1
 	}
-	logger.Printf("serving on http://%s (protocol v%d)", lis.Addr(), serve.ProtoVersion)
+	logger.Printf("serving on http://%s (protocol v%d, instance %s)", lis.Addr(), serve.ProtoVersion, srv.InstanceID())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(lis) }()

@@ -9,6 +9,7 @@
 //	echo "EXPLAIN SELECT ...;" | fudjsh
 //	fudjsh                                  # interactive; \q quits
 //	fudjsh -connect http://127.0.0.1:7531   # against a fudjd
+//	fudjsh -connect host1:7531,host2:7531   # failover pool across instances
 //
 // Ctrl-C cancels the in-flight query (the structured cancellation
 // error is printed); a second Ctrl-C exits the shell. In -c and script
@@ -37,7 +38,7 @@ func main() {
 func run() int {
 	var (
 		command  = flag.String("c", "", "statements to execute and exit")
-		connect  = flag.String("connect", "", "connect to a fudjd server (e.g. http://127.0.0.1:7531) instead of opening an in-process database")
+		connect  = flag.String("connect", "", "connect to fudjd server(s) instead of opening an in-process database; a comma-separated list (host1:7531,host2:7531) enables client-side failover")
 		session  = flag.String("session", "", "server session name with -connect (default \"default\")")
 		deadline = flag.Duration("deadline", 0, "overall deadline for -c execution (propagated to the server with -connect)")
 		records  = flag.Int("records", 2000, "records per demo dataset")
@@ -58,25 +59,49 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "fudjsh: -trace-out needs a local database; it cannot be combined with -connect")
 			return 2
 		}
-		// Accept a bare host:port the way the daemon prints it.
-		base := *connect
-		if !strings.Contains(base, "://") {
-			base = "http://" + base
+		// Accept bare host:port forms the way the daemon prints them; a
+		// comma-separated list selects the failover pool.
+		var endpoints []string
+		for _, e := range strings.Split(*connect, ",") {
+			e = strings.TrimSpace(e)
+			if e == "" {
+				continue
+			}
+			if !strings.Contains(e, "://") {
+				e = "http://" + e
+			}
+			endpoints = append(endpoints, e)
 		}
 		// The idempotency-key prefix must be unique per client process
 		// within the session, or two shells would replay each other's
 		// responses.
-		cli, cerr := client.New(client.Config{
-			BaseURL:     base,
-			Session:     *session,
-			QueryPrefix: fmt.Sprintf("sh%d-%d", os.Getpid(), time.Now().UnixNano()),
-			Seed:        time.Now().UnixNano(),
-		})
+		prefix := fmt.Sprintf("sh%d-%d", os.Getpid(), time.Now().UnixNano())
+		var (
+			conn shell.Conn
+			cerr error
+		)
+		if len(endpoints) > 1 {
+			conn, cerr = client.NewPool(client.PoolConfig{
+				Endpoints:   endpoints,
+				Session:     *session,
+				QueryPrefix: prefix,
+				Seed:        time.Now().UnixNano(),
+			})
+		} else if len(endpoints) == 1 {
+			conn, cerr = client.New(client.Config{
+				BaseURL:     endpoints[0],
+				Session:     *session,
+				QueryPrefix: prefix,
+				Seed:        time.Now().UnixNano(),
+			})
+		} else {
+			cerr = fmt.Errorf("-connect %q names no endpoints", *connect)
+		}
 		if cerr != nil {
 			fmt.Fprintln(os.Stderr, "fudjsh:", cerr)
 			return 1
 		}
-		ex = shell.NewRemote(cli)
+		ex = shell.NewRemote(conn)
 	} else {
 		db, serr := shell.Setup(shell.Config{
 			Nodes: *nodes, Cores: *cores, Records: *records, LoadDemo: !*noData,

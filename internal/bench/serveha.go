@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"fudj/internal/serve"
+	"fudj/internal/serve/client"
+)
+
+// The serve-ha experiment prices client-side failover: the spatial
+// join, closed-loop through a two-instance fudjd deployment behind a
+// failover pool, with the serving instance drained and restarted out
+// from under the client each round. Steady-state latency is the
+// baseline; the "failover" arm is the latency of the first query after
+// a drain — the price of the shed round trip, the peer's readiness
+// probe, session re-establishment, and re-keying, all on one query.
+// The contract under measurement is the §13.5 one: zero client-visible
+// failures, however many instances die.
+
+const serveHASQL = `SELECT COUNT(*) FROM parks p, wildfires w
+	WHERE spatial_join(p.boundary, w.location, 16)`
+
+// haBenchInstance is one restartable loopback fudjd for the
+// experiment: same address across generations, fresh engine per
+// generation (drain is permanent), deterministic data (same cfg).
+type haBenchInstance struct {
+	cfg  Config
+	name string
+	addr string
+	gen  int
+	srv  *serve.Server
+}
+
+func (h *haBenchInstance) start() error {
+	e, err := newEnv(h.cfg, h.cfg.scaled(60), h.cfg.scaled(150), 8, 8)
+	if err != nil {
+		return err
+	}
+	h.gen++
+	srv, err := serve.New(serve.Config{
+		DB:         e.db,
+		InstanceID: fmt.Sprintf("%s-g%d", h.name, h.gen),
+		RetryAfter: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	addr := h.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var lis net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lis, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rebind %s: %w", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.addr = lis.Addr().String()
+	h.srv = srv
+	go srv.Serve(lis)
+	return nil
+}
+
+func (h *haBenchInstance) drain() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return h.srv.Drain(ctx)
+}
+
+func (h *haBenchInstance) shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return h.srv.Shutdown(ctx)
+}
+
+func runServeHAExperiment(cfg Config, w io.Writer) error {
+	instances := []*haBenchInstance{
+		{cfg: cfg, name: "a"},
+		{cfg: cfg, name: "b"},
+	}
+	for _, h := range instances {
+		if err := h.start(); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, h := range instances {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			h.srv.Shutdown(ctx)
+			cancel()
+		}
+	}()
+	pool, err := client.NewPool(client.PoolConfig{
+		Endpoints:       []string{"http://" + instances[0].addr, "http://" + instances[1].addr},
+		Session:         "bench-ha",
+		QueryPrefix:     "ha",
+		Seed:            cfg.Seed,
+		BackoffBase:     2 * time.Millisecond,
+		BackoffMax:      50 * time.Millisecond,
+		BreakerCooldown: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	ctx := context.Background()
+	query := func() (*client.Result, error) { return pool.Query(ctx, serveHASQL) }
+	const warmups, steadyIters, rounds = 3, 20, 4
+	for i := 0; i < warmups; i++ {
+		if _, err := query(); err != nil {
+			return fmt.Errorf("serve-ha warmup: %w", err)
+		}
+	}
+	steady, err := measure(steadyIters, func() error { _, err := query(); return err })
+	if err != nil {
+		return fmt.Errorf("serve-ha steady: %w", err)
+	}
+
+	// Each round: find the instance currently serving this pool, drain
+	// it, and time the very next query — the full failover, end to end.
+	// Then restart the drained instance so the next round has a peer to
+	// fail over to (and its breaker a chance to close).
+	byAddr := make(map[string]*haBenchInstance, len(instances))
+	for _, h := range instances {
+		byAddr["http://"+h.addr] = h
+	}
+	failover := make([]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		res, err := query()
+		if err != nil {
+			return fmt.Errorf("serve-ha round %d: %w", r, err)
+		}
+		serving := byAddr[res.Endpoint]
+		if serving == nil {
+			return fmt.Errorf("serve-ha round %d: unknown endpoint %q", r, res.Endpoint)
+		}
+		// Drain first, shut down after the timed query: the failover arm
+		// measures the announced path (shed envelope, immediate peer
+		// failover), the way a rolling restart actually presents — the
+		// listener closes only once traffic has moved off.
+		if err := serving.drain(); err != nil {
+			return fmt.Errorf("serve-ha round %d drain: %w", r, err)
+		}
+		t0 := time.Now()
+		if _, err := query(); err != nil {
+			return fmt.Errorf("serve-ha round %d: query lost across a single-instance drain: %w", r, err)
+		}
+		failover = append(failover, time.Since(t0))
+		if err := serving.shutdown(); err != nil {
+			return fmt.Errorf("serve-ha round %d shutdown: %w", r, err)
+		}
+		if err := serving.start(); err != nil {
+			return fmt.Errorf("serve-ha round %d restart: %w", r, err)
+		}
+	}
+	sort.Slice(failover, func(i, j int) bool { return failover[i] < failover[j] })
+
+	st := pool.Stats()
+	fmt.Fprintf(w, "client-side failover, closed loop, %d steady iters then %d drain/restart rounds, two loopback instances:\n",
+		steadyIters, rounds)
+	printTable(w, []string{"arm", "p50", "p95", "max"}, [][]string{
+		{"steady", fmtDur(quantile(steady, 0.5)), fmtDur(quantile(steady, 0.95)), fmtDur(steady[len(steady)-1])},
+		{"failover", fmtDur(quantile(failover, 0.5)), fmtDur(quantile(failover, 0.95)), fmtDur(failover[len(failover)-1])},
+	})
+	fmt.Fprintf(w, "  failovers=%d drain_failovers=%d rekeys=%d breaker_opens=%d breaker_closes=%d probes=%d journal_replays=%d\n",
+		st.Failovers, st.DrainFailovers, st.Rekeys, st.BreakerOpens, st.BreakerCloses, st.Probes, st.JournalReplays)
+
+	if cfg.JSONOut != "" {
+		if err := writeServeHAJSON(cfg, steady, failover, st); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", cfg.JSONOut)
+	}
+	// Regression canaries: the experiment is the contract, not a race.
+	if st.DrainFailovers == 0 {
+		return fmt.Errorf("serve-ha: no drain failover recorded across %d drains", rounds)
+	}
+	if st.Rekeys == 0 {
+		return fmt.Errorf("serve-ha: no re-key recorded across %d instance changes", rounds)
+	}
+	return nil
+}
+
+// writeServeHAJSON records the measurement in the style of the other
+// results/BENCH_*.json artifacts, with stable field order.
+func writeServeHAJSON(cfg Config, steady, failover []time.Duration, st client.PoolStats) error {
+	runs := func(ds []time.Duration) string {
+		parts := make([]string, len(ds))
+		for i, d := range ds {
+			parts[i] = fmt.Sprintf("%d", d.Nanoseconds())
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "{\n")
+	fmt.Fprintf(&buf, "  %q: %q,\n", "benchmark", "bench experiment 'serve-ha': client-side failover across a rolling restart")
+	fmt.Fprintf(&buf, "  %q: %q,\n", "shape",
+		"the spatial example join, closed loop through a failover pool over two loopback fudjd instances; the steady arm queries a healthy pair, the failover arm times the first query after the serving instance drains — shed detection, peer readiness probe, session re-establishment, and re-key included")
+	fmt.Fprintf(&buf, "  %q: {%q: 4, %q: 2},\n", "cluster", "nodes", "cores_per_node")
+	fmt.Fprintf(&buf, "  %q: %q,\n", "command", "make bench-serve-ha")
+	fmt.Fprintf(&buf, "  %q: %q,\n", "cpu", cpuModel())
+	fmt.Fprintf(&buf, "  %q: {\n", "runs_ns")
+	fmt.Fprintf(&buf, "    %q: %s,\n", "steady", runs(steady))
+	fmt.Fprintf(&buf, "    %q: %s\n", "failover", runs(failover))
+	fmt.Fprintf(&buf, "  },\n")
+	fmt.Fprintf(&buf, "  %q: {%q: %d, %q: %d},\n", "median_ns",
+		"steady", quantile(steady, 0.5).Nanoseconds(),
+		"failover", quantile(failover, 0.5).Nanoseconds())
+	fmt.Fprintf(&buf, "  %q: {%q: %d, %q: %d, %q: %d, %q: %d, %q: %d, %q: %d, %q: %d},\n", "pool",
+		"failovers", st.Failovers, "drain_failovers", st.DrainFailovers,
+		"rekeys", st.Rekeys, "breaker_opens", st.BreakerOpens,
+		"breaker_closes", st.BreakerCloses, "probes", st.Probes,
+		"journal_replays", st.JournalReplays)
+	fmt.Fprintf(&buf, "  %q: %q\n", "guard",
+		"every query must succeed — a drain of the serving instance is never client-visible as a failure; the experiment itself fails if no drain failover or re-key was recorded, so the failover arm cannot silently measure a healthy pair")
+	fmt.Fprintf(&buf, "}\n")
+	var check any
+	if err := json.Unmarshal(buf.Bytes(), &check); err != nil {
+		return fmt.Errorf("serve-ha: malformed artifact: %w", err)
+	}
+	return os.WriteFile(cfg.JSONOut, buf.Bytes(), 0o644)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "serve-ha",
+		Title: "Extra: client-side failover latency across a rolling restart of fudjd instances",
+		Paper: "not in the paper; multi-instance serving experiment — closed-loop latency of the spatial join through a failover pool, steady-state vs the first query after the serving instance drains",
+		Run:   runServeHAExperiment,
+	})
+}

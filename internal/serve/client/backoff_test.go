@@ -1,0 +1,130 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"fudj/internal/sched"
+	"fudj/internal/serve"
+)
+
+func newBackoffClient(t *testing.T, seed int64) *Client {
+	t.Helper()
+	c, err := New(Config{
+		BaseURL:     "http://127.0.0.1:1",
+		Seed:        seed,
+		BackoffBase: 100 * time.Millisecond,
+		BackoffMax:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func shedWithHint(hint time.Duration) error {
+	return &serve.ShedError{
+		RetryAfter: hint,
+		Err:        &sched.AdmissionError{Reason: sched.ReasonQueueFull},
+	}
+}
+
+// expWait is the capped exponential for an attempt under the test
+// client's base/max config.
+func expWait(attempt int) time.Duration {
+	d := 100 * time.Millisecond << (attempt - 1)
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+func TestBackoffWithoutHintIsJitteredExponential(t *testing.T) {
+	c := newBackoffClient(t, 7)
+	err := &serve.TransportError{Op: "send query"}
+	for attempt := 1; attempt <= 8; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := expWait(attempt)
+			got := c.backoffWait(attempt, err)
+			if got < d/2 || got > d {
+				t.Fatalf("attempt %d: wait %v outside [%v, %v]", attempt, got, d/2, d)
+			}
+		}
+	}
+}
+
+func TestBackoffHintIsExactMinimum(t *testing.T) {
+	// The server hint must bound the wait from below whenever present —
+	// jitter rides above it, never under it — including when the hint
+	// is *smaller* than the exponential wait (the old code ignored the
+	// hint then, over-waiting on late attempts against a server that
+	// said "250ms is enough").
+	for _, hint := range []time.Duration{20 * time.Millisecond, 250 * time.Millisecond, 3 * time.Second} {
+		c := newBackoffClient(t, 42)
+		err := shedWithHint(hint)
+		for attempt := 1; attempt <= 8; attempt++ {
+			for i := 0; i < 50; i++ {
+				got := c.backoffWait(attempt, err)
+				if got < hint {
+					t.Fatalf("hint %v attempt %d: wait %v below the hint", hint, attempt, got)
+				}
+				if max := hint + expWait(attempt)/2; got > max {
+					t.Fatalf("hint %v attempt %d: wait %v above hint+jitter ceiling %v", hint, attempt, got, max)
+				}
+			}
+		}
+	}
+}
+
+func TestBackoffHintSmallerThanExponentialWins(t *testing.T) {
+	// Pin the satellite regression precisely: on a late attempt the
+	// exponential floor (max/2 = 500ms) exceeds a 100ms hint, and the
+	// fixed code must be able to wait less than that floor — the hint
+	// plus its jitter, not the exponential.
+	c := newBackoffClient(t, 3)
+	hint := 100 * time.Millisecond
+	err := shedWithHint(hint)
+	sawBelowExpFloor := false
+	for i := 0; i < 200; i++ {
+		got := c.backoffWait(8, err) // expWait(8) = 1s, floor 500ms
+		if got < hint || got > hint+500*time.Millisecond {
+			t.Fatalf("wait %v outside [%v, %v]", got, hint, hint+500*time.Millisecond)
+		}
+		if got < 500*time.Millisecond {
+			sawBelowExpFloor = true
+		}
+	}
+	if !sawBelowExpFloor {
+		t.Fatal("hint never undercut the exponential floor: hint is not being honored as the minimum")
+	}
+}
+
+func TestBackoffDeterministicSeed(t *testing.T) {
+	a := newBackoffClient(t, 99)
+	b := newBackoffClient(t, 99)
+	err := shedWithHint(250 * time.Millisecond)
+	for attempt := 1; attempt <= 6; attempt++ {
+		wa := a.backoffWait(attempt, err)
+		wb := b.backoffWait(attempt, err)
+		if wa != wb {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", attempt, wa, wb)
+		}
+	}
+}
+
+func TestBackoffJitterDesynchronizes(t *testing.T) {
+	// Two clients with different seeds must not back off in lockstep
+	// when given the same hint — the whole point of jittering above it.
+	a := newBackoffClient(t, 1)
+	b := newBackoffClient(t, 2)
+	err := shedWithHint(250 * time.Millisecond)
+	same := true
+	for attempt := 1; attempt <= 6; attempt++ {
+		if a.backoffWait(attempt, err) != b.backoffWait(attempt, err) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}

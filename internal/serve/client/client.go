@@ -88,6 +88,12 @@ type Result struct {
 	// replay cache (an earlier attempt's recorded response) rather
 	// than a fresh execution.
 	Replayed bool
+	// Instance is the serving instance's stable ID (HeaderInstance) —
+	// the scope of this query's idempotency key and session state.
+	Instance string
+	// Endpoint is the base URL that answered (pool queries only; a
+	// single-endpoint client leaves it empty).
+	Endpoint string
 }
 
 // QueryOption tweaks one Query call.
@@ -176,7 +182,7 @@ func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*R
 
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		res, err := c.attempt(ctx, sql, queryID, qo)
+		res, err := c.attempt(ctx, sql, queryID, "", qo)
 		if err == nil {
 			res.Attempts = attempt
 			return res, nil
@@ -202,22 +208,10 @@ func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*R
 	}
 }
 
-// backoff sleeps the jittered exponential wait for `attempt`, floored
-// by any server retry-after hint riding on err. Returns ctx's error if
-// the context dies first.
+// backoff sleeps the wait backoffWait computes for `attempt`. Returns
+// ctx's error if the context dies first.
 func (c *Client) backoff(ctx context.Context, attempt int, err error) error {
-	d := c.cfg.BackoffBase << (attempt - 1)
-	if d > c.cfg.BackoffMax || d <= 0 {
-		d = c.cfg.BackoffMax
-	}
-	// Full jitter on [d/2, d): desynchronizes a retry storm.
-	c.mu.Lock()
-	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
-	c.mu.Unlock()
-	if hint, ok := serve.RetryAfter(err); ok && hint > d {
-		d = hint
-	}
-	t := time.NewTimer(d)
+	t := time.NewTimer(c.backoffWait(attempt, err))
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
@@ -227,8 +221,42 @@ func (c *Client) backoff(ctx context.Context, attempt int, err error) error {
 	}
 }
 
-// attempt runs one try of one query.
-func (c *Client) attempt(parent context.Context, sql, queryID string, qo queryOpts) (*Result, error) {
+// backoffWait computes the wait before retrying `attempt`. Without a
+// server hint it is jittered exponential backoff on [d/2, d] where d
+// is the capped exponential for this attempt. A server retry-after
+// hint riding on err is the *exact minimum* whenever present: the wait
+// is hint plus jitter on [0, d/2] — never below the hint (the server
+// knows when it will take work again; sleeping less just buys another
+// refusal) and never stripped of jitter (a fleet of clients all
+// sleeping exactly the hint would resubmit in lockstep).
+func (c *Client) backoffWait(attempt int, err error) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return backoffWaitLocked(c.rng, c.cfg.BackoffBase, c.cfg.BackoffMax, attempt, err)
+}
+
+// backoffWaitLocked is the shared wait computation for Client and Pool
+// (each passes its own seeded rng, which the caller's lock guards).
+func backoffWaitLocked(rng *rand.Rand, base, max time.Duration, attempt int, err error) time.Duration {
+	d := max
+	if attempt <= 32 {
+		d = base << (attempt - 1)
+		if d > max || d <= 0 {
+			d = max
+		}
+	}
+	jitter := time.Duration(rng.Int63n(int64(d/2) + 1))
+	if hint, ok := serve.RetryAfter(err); ok {
+		return hint + jitter
+	}
+	return d/2 + jitter
+}
+
+// attempt runs one try of one query. A non-empty expect ships
+// HeaderExpectInstance, so a server that is not the named instance
+// refuses before touching its replay cache (the pool's failover
+// handshake).
+func (c *Client) attempt(parent context.Context, sql, queryID, expect string, qo queryOpts) (*Result, error) {
 	ctx := parent
 	if c.cfg.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -244,6 +272,9 @@ func (c *Client) attempt(parent context.Context, sql, queryID string, qo queryOp
 		req.Header.Set(serve.HeaderSession, c.cfg.Session)
 	}
 	req.Header.Set(serve.HeaderQueryID, queryID)
+	if expect != "" {
+		req.Header.Set(serve.HeaderExpectInstance, expect)
+	}
 	// Deadline propagation: ship the remaining budget, not the
 	// absolute instant, so client/server clock skew cannot distort it.
 	if dl, ok := parent.Deadline(); ok {
@@ -278,7 +309,44 @@ func (c *Client) attempt(parent context.Context, sql, queryID string, qo queryOp
 			Message: fmt.Sprintf("server speaks protocol %s, client %d", v, serve.ProtoVersion),
 		}
 	}
-	return decodeResponse(resp.Body)
+	res, err := decodeResponse(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	res.Instance = resp.Header.Get(serve.HeaderInstance)
+	return res, nil
+}
+
+// Ready probes the server's /v1/ready readiness endpoint. It reports
+// whether the server is accepting new queries and which instance
+// answered; err is non-nil only when no well-formed answer came back
+// at all (a draining server's 503 is a valid "not ready", not an
+// error). The pool's circuit breaker half-open probe calls this.
+func (c *Client) Ready(ctx context.Context) (ready bool, instance string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/ready", nil)
+	if err != nil {
+		return false, "", &serve.TransportError{Op: "build request", Err: err}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, "", &serve.TransportError{Op: "get /v1/ready", Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return false, "", &serve.TransportError{Op: "get /v1/ready", Err: fmt.Errorf("HTTP %d", resp.StatusCode)}
+	}
+	var out struct {
+		Ready    bool   `json:"ready"`
+		Instance string `json:"instance"`
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	if err != nil {
+		return false, "", &serve.TransportError{Op: "get /v1/ready", Err: err}
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return false, "", &serve.TransportError{Op: "decode /v1/ready", Err: err}
+	}
+	return out.Ready, out.Instance, nil
 }
 
 // decodeResponse consumes a frame stream into a Result, or the decoded

@@ -1,0 +1,732 @@
+// Multi-endpoint failover: a Pool fans a session out over several
+// independent fudjd instances, pushing the coordination the
+// shared-nothing deployment model refuses to centralize into the
+// client. The correctness problem is that almost everything a client
+// leans on is per-instance state: idempotency keys replay only against
+// the instance that recorded them, and session-scoped DDL (CREATE
+// JOIN, SELECT ... INTO) lives in one instance's catalog. The pool
+// therefore treats the instance ID (HeaderInstance) as the scope of
+// everything it knows:
+//
+//   - Keys are minted per (logical query, instance) — a retry against
+//     the same instance reuses the key and replays; failover to a new
+//     instance re-keys, so ExecCount stays ≤ 1 per (instance, key)
+//     while the trailer row-count cross-check guards the result.
+//   - Session DDL that succeeded is journaled client-side and replayed
+//     on first contact with a new instance, so the session survives
+//     its server.
+//   - Every query ships HeaderExpectInstance; a restarted server
+//     refuses with a retryable mismatch naming its new identity, so
+//     the pool resynchronizes without a probe round trip per query.
+//
+// Availability is the circuit breaker: consecutive transport/corrupt
+// failures open an endpoint's breaker (skip it entirely), and a timed
+// half-open probe of /v1/ready closes it when the instance returns. A
+// draining instance is special-cased — its shed envelope is an
+// announcement, not a fault, so the pool fails over to a peer
+// immediately instead of climbing a backoff ladder against a server
+// that already said goodbye.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"fudj/internal/cluster"
+	"fudj/internal/sched"
+	"fudj/internal/serve"
+	"fudj/internal/sqlparse"
+	"fudj/internal/trace"
+)
+
+// PoolConfig shapes one Pool.
+type PoolConfig struct {
+	// Endpoints are the fudjd base URLs, e.g.
+	// {"http://h1:7531", "http://h2:7531"}. Required, at least one.
+	Endpoints []string
+	// Session names the server-side session re-established on every
+	// instance the pool touches. Empty selects "default".
+	Session string
+	// QueryPrefix namespaces this pool's idempotency keys inside the
+	// session (see Config.QueryPrefix). Empty selects "p<Seed>".
+	QueryPrefix string
+	// MaxAttempts bounds tries per logical query across all endpoints.
+	// <=0 selects 4 per endpoint (minimum 8).
+	MaxAttempts int
+	// BackoffBase seeds the exponential backoff. <=0 selects 50ms.
+	BackoffBase time.Duration
+	// BackoffMax caps one backoff wait. <=0 selects 2s.
+	BackoffMax time.Duration
+	// AttemptTimeout bounds a single attempt end-to-end. 0 means the
+	// caller's context is the only bound.
+	AttemptTimeout time.Duration
+	// Seed feeds endpoint selection and backoff jitter (deterministic
+	// tests). 0 selects 1.
+	Seed int64
+	// Clock supplies breaker timing (tests inject a fake). Default wall.
+	Clock trace.Clock
+	// BreakerThreshold is the consecutive transport/corrupt-frame
+	// failure count that opens an endpoint's breaker. <=0 selects 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before a
+	// half-open probe. <=0 selects 250ms.
+	BreakerCooldown time.Duration
+	// HTTPClient overrides the transport, shared by all endpoints.
+	HTTPClient *http.Client
+}
+
+// journalEntry is one session-scoped DDL statement the pool must
+// replay onto any instance it meets, so the session's objects exist
+// wherever the session's queries land.
+type journalEntry struct {
+	sql     string
+	logical int64  // the statement's logical ID: replay reuses its key
+	name    string // the catalog object it creates
+	isJoin  bool   // join definition vs dataset
+}
+
+// endpoint is one pool member: a single-attempt client plus the
+// breaker and instance state the pool keeps about it.
+type endpoint struct {
+	url string
+	c   *Client
+
+	// mu serializes instance discovery and journal replay: exactly one
+	// goroutine re-establishes the session on a fresh instance while
+	// the rest queue behind it.
+	mu             sync.Mutex
+	instance       string // last known instance ID ("" = never met)
+	journalApplied int    // journal entries known applied to instance
+
+	// Breaker state, guarded by the pool's mu.
+	consecFails int
+	open        bool
+	openUntil   time.Time
+	opens       int64
+	closes      int64
+}
+
+// PoolStats is a pool activity snapshot; Metrics flattens it under
+// serve.ha.* names.
+type PoolStats struct {
+	Failovers      int64 // queries that moved to a peer after a failure
+	DrainFailovers int64 // failovers triggered by a draining instance
+	Rekeys         int64 // idempotency keys re-minted for a new instance
+	BreakerOpens   int64
+	BreakerCloses  int64
+	Probes         int64 // readiness probes (half-open + first contact)
+	JournalReplays int64 // DDL statements replayed onto new instances
+	Endpoints      []EndpointStats
+}
+
+// EndpointStats is one endpoint's row in PoolStats.
+type EndpointStats struct {
+	URL         string
+	Instance    string
+	State       string // "closed", "open", or "half-open"
+	ConsecFails int
+	Opens       int64
+	Closes      int64
+}
+
+// Metrics flattens the counters under serve.ha.* metric names.
+func (st PoolStats) Metrics() map[string]int64 {
+	return map[string]int64{
+		"serve.ha.failovers":       st.Failovers,
+		"serve.ha.drain_failovers": st.DrainFailovers,
+		"serve.ha.rekeys":          st.Rekeys,
+		"serve.ha.breaker_opens":   st.BreakerOpens,
+		"serve.ha.breaker_closes":  st.BreakerCloses,
+		"serve.ha.probes":          st.Probes,
+		"serve.ha.journal_replays": st.JournalReplays,
+	}
+}
+
+// Pool is a failover connection to several fudjd instances. Safe for
+// concurrent use.
+type Pool struct {
+	cfg   PoolConfig
+	clock trace.Clock
+	eps   []*endpoint
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	cursor  int // sticky: the endpoint queries currently route to
+	nextID  int64
+	journal []journalEntry
+	stats   PoolStats
+}
+
+// NewPool builds a pool. It does not dial; the first Query does.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, errors.New("client: PoolConfig.Endpoints is required")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4 * len(cfg.Endpoints)
+		if cfg.MaxAttempts < 8 {
+			cfg.MaxAttempts = 8
+		}
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.QueryPrefix == "" {
+		cfg.QueryPrefix = "p" + strconv.FormatInt(cfg.Seed, 10)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = trace.WallClock{}
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 250 * time.Millisecond
+	}
+	p := &Pool{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i, u := range cfg.Endpoints {
+		c, err := New(Config{
+			BaseURL:        u,
+			Session:        cfg.Session,
+			QueryPrefix:    cfg.QueryPrefix,
+			MaxAttempts:    1, // the pool owns the retry loop
+			BackoffBase:    cfg.BackoffBase,
+			BackoffMax:     cfg.BackoffMax,
+			AttemptTimeout: cfg.AttemptTimeout,
+			Seed:           cfg.Seed + int64(i) + 1,
+			HTTPClient:     cfg.HTTPClient,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("client: pool endpoint %d: %w", i, err)
+		}
+		p.eps = append(p.eps, &endpoint{url: c.base, c: c})
+	}
+	// Seeded-deterministic starting endpoint: spreads a fleet of pools
+	// across the instances without any shared state.
+	p.cursor = p.rng.Intn(len(p.eps))
+	return p, nil
+}
+
+// Close releases every endpoint's idle connections.
+func (p *Pool) Close() {
+	for _, ep := range p.eps {
+		ep.c.Close()
+	}
+}
+
+// Stats snapshots the pool's failover and breaker activity.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	st := p.stats
+	now := p.clock.Now()
+	for _, ep := range p.eps {
+		state := "closed"
+		if ep.open {
+			state = "open"
+			if !now.Before(ep.openUntil) {
+				state = "half-open"
+			}
+		}
+		st.Endpoints = append(st.Endpoints, EndpointStats{
+			URL: ep.url, State: state, ConsecFails: ep.consecFails,
+			Opens: ep.opens, Closes: ep.closes,
+		})
+	}
+	p.mu.Unlock()
+	for i, ep := range p.eps {
+		ep.mu.Lock()
+		st.Endpoints[i].Instance = ep.instance
+		ep.mu.Unlock()
+	}
+	return st
+}
+
+// Query executes one statement against the pool, failing over between
+// endpoints until it succeeds, turns out non-retryable, or the attempt
+// budget runs out. The statement's idempotency key is scoped to the
+// instance each attempt lands on, so a replay can only come from the
+// instance that executed it.
+func (p *Pool) Query(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
+	var qo queryOpts
+	for _, o := range opts {
+		o(&qo)
+	}
+	p.mu.Lock()
+	p.nextID++
+	logical := p.nextID
+	p.mu.Unlock()
+
+	var (
+		lastErr  error
+		lastEp   *endpoint
+		prevInst string
+		lastKey  string
+	)
+	for attempt := 1; attempt <= p.cfg.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		ep, probe := p.pick()
+		if ep == nil {
+			// Every breaker is open and cooling down: wait out the
+			// earliest cooldown (bounded), then re-pick.
+			if err := p.sleep(ctx, p.cooldownWait()); err != nil {
+				break
+			}
+			continue
+		}
+		if probe && !p.probe(ctx, ep) {
+			lastErr = coalesceErr(lastErr, &serve.TransportError{
+				Op: "probe " + ep.url, Err: errors.New("not ready"),
+			})
+			continue
+		}
+		if lastEp != nil && ep != lastEp {
+			p.count(func(st *PoolStats) { st.Failovers++ })
+		}
+		lastEp = ep
+
+		inst, err := p.ensure(ctx, ep)
+		var res *Result
+		if err == nil {
+			if prevInst != "" && inst != prevInst {
+				p.count(func(st *PoolStats) { st.Rekeys++ })
+			}
+			prevInst = inst
+			lastKey = p.keyFor(logical, inst)
+			res, err = ep.c.attempt(ctx, sql, lastKey, inst, qo)
+		}
+		if err == nil {
+			p.onSuccess(ep)
+			p.journalOnSuccess(sql, logical, ep)
+			res.Attempts = attempt
+			res.Endpoint = ep.url
+			return res, nil
+		}
+		lastErr = err
+
+		if ctx.Err() != nil {
+			break
+		}
+		var im *serve.InstanceMismatchError
+		if errors.As(err, &im) {
+			// The instance changed between our last contact and this
+			// query: adopt the identity it named and retry — ensure will
+			// replay the journal, keyFor will re-key. Not a fault, so no
+			// breaker hit and no backoff.
+			ep.adoptInstance(im.Got)
+			continue
+		}
+		if !cluster.IsRetryable(err) {
+			return nil, err
+		}
+		if isDrainShed(err) {
+			// The instance announced it is going away: stop routing to
+			// it until its cooldown (stretched to any retry-after hint)
+			// and try a peer immediately — backing off here would just
+			// idle against a server that already refused us.
+			p.tripDrain(ep, err)
+			continue
+		}
+		p.recordFailure(ep)
+		// A peer might answer right now; only back off once a full
+		// sweep of the pool has failed.
+		if attempt%len(p.eps) == 0 {
+			if err := p.sleep(ctx, p.backoffWait(attempt/len(p.eps), lastErr)); err != nil {
+				break
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		if lastKey != "" && lastEp != nil {
+			lastEp.c.cancelRemote(lastKey)
+		}
+		msg := "no attempt completed"
+		if lastErr != nil {
+			msg = lastErr.Error()
+		}
+		return nil, fmt.Errorf("client: pool query %d: %w (last attempt: %s)", logical, ctx.Err(), msg)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: pool query: attempt budget exhausted")
+	}
+	return nil, lastErr
+}
+
+// keyFor mints the idempotency key for a logical query against one
+// instance: deterministic, so a retry against the same instance
+// replays, and instance-scoped, so a failover re-executes under a
+// fresh key instead of colliding with a stranger's replay record.
+func (p *Pool) keyFor(logical int64, instance string) string {
+	return fmt.Sprintf("%s-%d@%s", p.cfg.QueryPrefix, logical, instance)
+}
+
+// pick selects the endpoint to try: round-robin from the sticky
+// cursor over endpoints that are routable — breaker closed, or open
+// with an elapsed cooldown (returned with probe=true: the caller must
+// half-open probe it before use). Half-open endpoints compete with
+// closed ones on purpose: a recovered instance must win the cursor
+// back eventually even while its peers stay healthy, or an opened
+// breaker would never close. A failed probe re-arms the cooldown, so
+// the trial costs one readiness round trip per cooldown at most.
+// (nil, false) means every breaker is open and cooling.
+func (p *Pool) pick() (ep *endpoint, probe bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clock.Now()
+	n := len(p.eps)
+	for i := 0; i < n; i++ {
+		cand := p.eps[(p.cursor+i)%n]
+		if !cand.open || !now.Before(cand.openUntil) {
+			p.cursor = (p.cursor + i) % n
+			return cand, cand.open
+		}
+	}
+	return nil, false
+}
+
+// probe half-opens ep's breaker: one /v1/ready round trip. Ready
+// closes the breaker (and adopts the answering instance — a restart
+// may have changed it); anything else re-opens it for another
+// cooldown.
+func (p *Pool) probe(ctx context.Context, ep *endpoint) bool {
+	p.count(func(st *PoolStats) { st.Probes++ })
+	ready, inst, err := ep.c.Ready(ctx)
+	p.mu.Lock()
+	if err == nil && ready {
+		ep.open = false
+		ep.consecFails = 0
+		ep.closes++
+		p.stats.BreakerCloses++
+		p.mu.Unlock()
+		if inst != "" {
+			ep.adoptInstance(inst)
+		}
+		return true
+	}
+	ep.openUntil = p.clock.Now().Add(p.cfg.BreakerCooldown)
+	p.mu.Unlock()
+	return false
+}
+
+// ensure returns ep's instance ID, discovering it (one readiness round
+// trip) on first contact and replaying any journaled session DDL the
+// instance has not seen. Serialized per endpoint, so a fresh instance
+// is re-established exactly once however many queries race to it.
+func (p *Pool) ensure(ctx context.Context, ep *endpoint) (string, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.instance == "" {
+		p.count(func(st *PoolStats) { st.Probes++ })
+		ready, inst, err := ep.c.Ready(ctx)
+		if err != nil {
+			return "", err
+		}
+		if !ready {
+			// Alive but draining: the same announcement a query would
+			// get, surfaced the same way so Query fails over.
+			return "", &serve.ShedError{Err: &sched.AdmissionError{Reason: sched.ReasonDraining}}
+		}
+		if inst == "" {
+			return "", &serve.TransportError{Op: "probe " + ep.url, Err: errors.New("server reported no instance ID")}
+		}
+		ep.instance = inst
+		ep.journalApplied = 0
+	}
+	entries := p.journalSnapshot()
+	for i := ep.journalApplied; i < len(entries); i++ {
+		e := entries[i]
+		// Reuse the statement's original logical key, scoped to this
+		// instance: if the statement already executed here (we created
+		// it through this very instance), the attempt replays instead
+		// of re-executing.
+		_, err := ep.c.attempt(ctx, e.sql, p.keyFor(e.logical, ep.instance), ep.instance, queryOpts{})
+		if err != nil {
+			var im *serve.InstanceMismatchError
+			if errors.As(err, &im) {
+				ep.instance = im.Got
+				ep.journalApplied = 0
+				return "", err // retryable: Query loops back into ensure
+			}
+			if cluster.IsRetryable(err) {
+				return "", err
+			}
+			// Non-retryable replay failure — usually "already exists"
+			// after an attempt whose response was lost. If the catalog
+			// has the object, the session state is established; only a
+			// genuinely missing object fails the query.
+			if p.objectExists(ctx, ep, e) {
+				ep.journalApplied = i + 1
+				continue
+			}
+			return "", fmt.Errorf("client: re-establish session on %s: %w", ep.url, err)
+		}
+		ep.journalApplied = i + 1
+		p.count(func(st *PoolStats) { st.JournalReplays++ })
+	}
+	return ep.instance, nil
+}
+
+// adoptInstance records a newly learned instance identity, resetting
+// journal progress when it changed (a new instance has seen nothing).
+func (ep *endpoint) adoptInstance(inst string) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.instance != inst {
+		ep.instance = inst
+		ep.journalApplied = 0
+	}
+}
+
+// journalOnSuccess records session-scoped DDL that succeeded against
+// src, so later instances can be brought up to date. The executing
+// endpoint's watermark advances past the new entry — it just ran the
+// statement, so replaying it back (a guaranteed replay-cache hit, but
+// a round trip all the same) would be pure overhead. DROP JOIN erases
+// the matching journaled CREATE instead of being journaled itself —
+// replaying a create/drop pair onto a fresh instance would be churn —
+// and every endpoint watermark past the erased index shifts down with
+// the entries it was counting, so no endpoint skips an entry it has
+// not seen. Watermark adjustments happen outside p.mu (ep.mu nests
+// the other way in ensure).
+func (p *Pool) journalOnSuccess(sql string, logical int64, src *endpoint) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return
+	}
+	appended, removed := -1, -1
+	p.mu.Lock()
+	switch st := stmt.(type) {
+	case *sqlparse.Select:
+		if st.Into != "" {
+			p.journal = append(p.journal, journalEntry{sql: sql, logical: logical, name: st.Into})
+			appended = len(p.journal) - 1
+		}
+	case *sqlparse.CreateJoin:
+		p.journal = append(p.journal, journalEntry{sql: sql, logical: logical, name: st.Name, isJoin: true})
+		appended = len(p.journal) - 1
+	case *sqlparse.DropJoin:
+		for i := len(p.journal) - 1; i >= 0; i-- {
+			if p.journal[i].isJoin && p.journal[i].name == st.Name {
+				p.journal = append(p.journal[:i], p.journal[i+1:]...)
+				removed = i
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+	if appended >= 0 && src != nil {
+		src.mu.Lock()
+		if src.journalApplied == appended {
+			src.journalApplied = appended + 1
+		}
+		src.mu.Unlock()
+	}
+	if removed >= 0 {
+		for _, ep := range p.eps {
+			ep.mu.Lock()
+			if ep.journalApplied > removed {
+				ep.journalApplied--
+			}
+			ep.mu.Unlock()
+		}
+	}
+}
+
+func (p *Pool) journalSnapshot() []journalEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]journalEntry, len(p.journal))
+	copy(out, p.journal)
+	return out
+}
+
+// objectExists consults ep's catalog for a journal entry's object.
+func (p *Pool) objectExists(ctx context.Context, ep *endpoint, e journalEntry) bool {
+	datasets, joins, err := ep.c.Catalog(ctx)
+	if err != nil {
+		return false
+	}
+	names := datasets
+	if e.isJoin {
+		names = joins
+	}
+	for _, n := range names {
+		if n == e.name {
+			return true
+		}
+	}
+	return false
+}
+
+// isDrainShed reports whether err is an instance announcing its own
+// departure (a shed envelope whose admission reason is draining).
+func isDrainShed(err error) bool {
+	var adm *sched.AdmissionError
+	return errors.As(err, &adm) && adm.Reason == sched.ReasonDraining
+}
+
+// onSuccess clears ep's failure streak.
+func (p *Pool) onSuccess(ep *endpoint) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ep.consecFails = 0
+}
+
+// recordFailure notes a transport/corrupt-frame failure against ep,
+// opening its breaker at the threshold and moving the cursor to a
+// peer either way.
+func (p *Pool) recordFailure(ep *endpoint) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ep.consecFails++
+	if ep.consecFails >= p.cfg.BreakerThreshold && !ep.open {
+		ep.open = true
+		ep.openUntil = p.clock.Now().Add(p.cfg.BreakerCooldown)
+		ep.opens++
+		p.stats.BreakerOpens++
+	}
+	p.advanceLocked(ep)
+}
+
+// tripDrain opens ep's breaker immediately — one draining shed is an
+// announcement, not a failure streak — stretching the cooldown to any
+// server retry-after hint, and moves the cursor to a peer.
+func (p *Pool) tripDrain(ep *endpoint, err error) {
+	cooldown := p.cfg.BreakerCooldown
+	if hint, ok := serve.RetryAfter(err); ok && hint > cooldown {
+		cooldown = hint
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.DrainFailovers++
+	if !ep.open {
+		ep.open = true
+		ep.opens++
+		p.stats.BreakerOpens++
+	}
+	ep.openUntil = p.clock.Now().Add(cooldown)
+	ep.consecFails = 0
+	p.advanceLocked(ep)
+}
+
+// advanceLocked moves the sticky cursor off ep. Callers hold p.mu.
+func (p *Pool) advanceLocked(ep *endpoint) {
+	if p.eps[p.cursor] == ep {
+		p.cursor = (p.cursor + 1) % len(p.eps)
+	}
+}
+
+// cooldownWait is how long until the earliest open breaker half-opens,
+// clamped to [1ms, BreakerCooldown] so a wall/fake clock disagreement
+// cannot stall the loop.
+func (p *Pool) cooldownWait() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clock.Now()
+	wait := p.cfg.BreakerCooldown
+	for _, ep := range p.eps {
+		if d := ep.openUntil.Sub(now); d < wait {
+			wait = d
+		}
+	}
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait
+}
+
+// backoffWait computes the pool's between-sweep wait (see
+// backoffWaitLocked for the hint contract).
+func (p *Pool) backoffWait(sweep int, err error) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return backoffWaitLocked(p.rng, p.cfg.BackoffBase, p.cfg.BackoffMax, sweep, err)
+}
+
+// sleep waits d or until ctx dies.
+func (p *Pool) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (p *Pool) count(f func(*PoolStats)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f(&p.stats)
+}
+
+func coalesceErr(a, b error) error {
+	if b != nil {
+		return b
+	}
+	return a
+}
+
+// Metrics fetches a /metrics snapshot from the first reachable
+// endpoint (cursor order).
+func (p *Pool) Metrics(ctx context.Context) (serve.MetricsSnapshot, error) {
+	var lastErr error
+	for _, ep := range p.epsInOrder() {
+		snap, err := ep.c.Metrics(ctx)
+		if err == nil {
+			return snap, nil
+		}
+		lastErr = err
+	}
+	return serve.MetricsSnapshot{}, lastErr
+}
+
+// Catalog fetches the dataset and join listings from the first
+// reachable endpoint (cursor order).
+func (p *Pool) Catalog(ctx context.Context) (datasets, joins []string, err error) {
+	var lastErr error
+	for _, ep := range p.epsInOrder() {
+		datasets, joins, err := ep.c.Catalog(ctx)
+		if err == nil {
+			return datasets, joins, nil
+		}
+		lastErr = err
+	}
+	return nil, nil, lastErr
+}
+
+// epsInOrder lists endpoints starting at the sticky cursor, closed
+// breakers first.
+func (p *Pool) epsInOrder() []*endpoint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.eps)
+	var closed, opened []*endpoint
+	for i := 0; i < n; i++ {
+		ep := p.eps[(p.cursor+i)%n]
+		if ep.open {
+			opened = append(opened, ep)
+		} else {
+			closed = append(closed, ep)
+		}
+	}
+	return append(closed, opened...)
+}

@@ -40,6 +40,7 @@ const (
 	CodeFault       = "fault"
 	CodeParse       = "parse"
 	CodeProto       = "proto"
+	CodeInstance    = "instance"
 	CodeInternal    = "internal"
 )
 
@@ -58,6 +59,13 @@ type Envelope struct {
 	Resource  *ResourceDetail  `json:"resource,omitempty"`
 	UDF       *UDFDetail       `json:"udf,omitempty"`
 	Fault     *FaultDetail     `json:"fault,omitempty"`
+	Instance  *InstanceDetail  `json:"instance,omitempty"`
+}
+
+// InstanceDetail mirrors InstanceMismatchError.
+type InstanceDetail struct {
+	Want string `json:"want"`
+	Got  string `json:"got"`
 }
 
 // AdmissionDetail mirrors sched.AdmissionError.
@@ -132,6 +140,26 @@ func (e *ShedError) Unwrap() error { return e.Err }
 // Retryable marks the network-level shed as transient.
 func (e *ShedError) Retryable() bool { return true }
 
+// InstanceMismatchError reports that the instance answering an
+// endpoint is not the one the client named in X-Fudj-Expect-Instance —
+// the daemon restarted, or a balancer moved the address. It is
+// retryable, and deliberately cheap: the server refuses before any
+// execution or replay-cache lookup, so the client can re-key its
+// idempotency scope and replay its session journal against the new
+// instance (Got carries its ID), then resubmit.
+type InstanceMismatchError struct {
+	Want string // the instance the client expected
+	Got  string // the instance that actually answered
+}
+
+// Error implements the error interface.
+func (e *InstanceMismatchError) Error() string {
+	return fmt.Sprintf("serve: instance changed: expected %s, got %s", e.Want, e.Got)
+}
+
+// Retryable marks the mismatch as transient: resubmit after re-keying.
+func (e *InstanceMismatchError) Retryable() bool { return true }
+
 // RemoteError is the decoded form of an error outside the structured
 // taxonomy (planner errors, catalog misses, protocol misuse). The
 // server's retryability verdict travels with it.
@@ -196,6 +224,7 @@ func EncodeError(err error, retryAfter time.Duration) Envelope {
 	var re *core.ResourceError
 	var ue *core.UDFError
 	var fe *cluster.FaultError
+	var im *InstanceMismatchError
 	switch {
 	case errors.As(err, &adm):
 		env.Code = CodeAdmission
@@ -239,6 +268,10 @@ func EncodeError(err error, retryAfter time.Duration) Envelope {
 	case errors.As(err, &fe):
 		env.Code = CodeFault
 		env.Fault = &FaultDetail{Kind: int(fe.Kind), Node: fe.Node, Part: fe.Part, Attempt: fe.Attempt}
+		env.Retryable = true
+	case errors.As(err, &im):
+		env.Code = CodeInstance
+		env.Instance = &InstanceDetail{Want: im.Want, Got: im.Got}
 		env.Retryable = true
 	}
 	return env
@@ -304,6 +337,10 @@ func DecodeError(env Envelope) error {
 				Kind: cluster.FaultKind(env.Fault.Kind), Node: env.Fault.Node,
 				Part: env.Fault.Part, Attempt: env.Fault.Attempt,
 			}
+		}
+	case CodeInstance:
+		if env.Instance != nil {
+			return &InstanceMismatchError{Want: env.Instance.Want, Got: env.Instance.Got}
 		}
 	}
 	return &RemoteError{Code: env.Code, Message: env.Message, Retry: env.Retryable, RetryWait: retryAfter}

@@ -63,6 +63,18 @@ const (
 	// HeaderTrace, when "1", asks the server to collect and render the
 	// execution span tree into the trailer.
 	HeaderTrace = "X-Fudj-Trace"
+	// HeaderInstance carries the serving instance's stable ID on every
+	// response. Replay records and session catalogs are scoped to one
+	// instance, so the scope of an idempotency key is self-describing:
+	// a client that sees the ID change knows its keys and session DDL
+	// mean nothing to the process now answering.
+	HeaderInstance = "X-Fudj-Instance"
+	// HeaderExpectInstance, when set on a query, names the instance the
+	// client believes it is talking to. A mismatch is refused with a
+	// retryable instance envelope before any execution or replay-cache
+	// lookup, so a failover client can re-key and re-establish its
+	// session instead of running against a stranger's replay scope.
+	HeaderExpectInstance = "X-Fudj-Expect-Instance"
 )
 
 // Frame types.

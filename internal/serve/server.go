@@ -6,6 +6,8 @@ package serve
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -57,6 +59,13 @@ type Config struct {
 	// RetryAfter is the hint attached to shed refusals. <=0 selects
 	// 250ms.
 	RetryAfter time.Duration
+	// InstanceID is the stable identity stamped on every response
+	// (HeaderInstance). Replay records and session catalogs live and
+	// die with one instance, so the ID tells clients which replay
+	// scope they are talking to. Empty mints a random ID at startup —
+	// exactly what a restart wants, since the restarted process shares
+	// nothing with its predecessor. Tests set it for determinism.
+	InstanceID string
 	// ErrorLog receives http.Server internals; nil discards them (chaos
 	// runs make the default stderr log very noisy).
 	ErrorLog *log.Logger
@@ -92,6 +101,7 @@ type Server struct {
 	db       *engine.Database
 	clock    trace.Clock
 	sessions *sessions
+	instance string
 	mux      *http.ServeMux
 	hs       *http.Server
 
@@ -129,11 +139,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 250 * time.Millisecond
 	}
+	if cfg.InstanceID == "" {
+		cfg.InstanceID = mintInstanceID()
+	}
 	s := &Server{
 		cfg:      cfg,
 		db:       cfg.DB,
 		clock:    cfg.Clock,
 		sessions: newSessions(cfg.SessionIdle, cfg.ReplayCap, cfg.ReplayBytes),
+		instance: cfg.InstanceID,
 		mux:      http.NewServeMux(),
 		fresh:    make(map[net.Conn]struct{}),
 		live:     make(map[int64]*liveQuery),
@@ -145,12 +159,14 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/health", s.handleHealth)
+	s.mux.HandleFunc("/v1/ready", s.handleReady)
 	errorLog := cfg.ErrorLog
 	if errorLog == nil {
 		errorLog = log.New(io.Discard, "", 0)
 	}
 	s.hs = &http.Server{
-		Handler:           s.mux,
+		Handler:           s.stampInstance(s.mux),
 		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
 		IdleTimeout:       cfg.IdleTimeout,
 		MaxHeaderBytes:    64 << 10,
@@ -158,6 +174,34 @@ func New(cfg Config) (*Server, error) {
 		ConnState:         s.trackConn,
 	}
 	return s, nil
+}
+
+// mintInstanceID draws a fresh 8-byte random identity. crypto/rand is
+// deliberate (not the engine's seeded streams): the whole point is
+// that two instances — including one process restarted in place —
+// never collide, whatever seeds they were configured with.
+func mintInstanceID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a fixed fallback
+		// still beats an empty ID (mismatch detection degrades, the
+		// server itself keeps working).
+		return "fudjd-0"
+	}
+	return "fudjd-" + hex.EncodeToString(b[:])
+}
+
+// InstanceID reports the stable identity this server stamps on every
+// response.
+func (s *Server) InstanceID() string { return s.instance }
+
+// stampInstance wraps the mux so every response — query frames, JSON
+// endpoints, even method-not-allowed errors — carries HeaderInstance.
+func (s *Server) stampInstance(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(HeaderInstance, s.instance)
+		next.ServeHTTP(w, r)
+	})
 }
 
 // trackConn watches connection state transitions so Shutdown can reap
@@ -284,6 +328,13 @@ func (s *Server) ExecCount(session, queryID string) int {
 	return s.sessions.execCount(session, queryID)
 }
 
+// ExecCounts reports every tracked query ID's execution count under a
+// session — the HA chaos suite's per-(instance, query-id) invariant
+// sweep. A pure read like ExecCount.
+func (s *Server) ExecCounts(session string) map[string]int {
+	return s.sessions.execCounts(session)
+}
+
 // registerLive adds an in-flight query to the live view.
 func (s *Server) registerLive(sessID, queryID, sql string, prio sched.Priority, cancel context.CancelFunc) int64 {
 	s.mu.Lock()
@@ -361,6 +412,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Message:   fmt.Sprintf("protocol version %s not supported (server speaks %d)", v, ProtoVersion),
 			Retryable: false,
 		})
+		return
+	}
+	// Instance check, before any session or replay-cache state is
+	// touched: a client that expected a different instance is carrying
+	// idempotency keys and session DDL that mean nothing here. The
+	// refusal is retryable — the client re-keys, replays its session
+	// journal, and resubmits.
+	if want := r.Header.Get(HeaderExpectInstance); want != "" && want != s.instance {
+		writeErr(EncodeError(&InstanceMismatchError{Want: want, Got: s.instance}, 0))
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSQLBytes+1))
@@ -602,10 +662,12 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 // MetricsSnapshot is the /metrics payload.
 type MetricsSnapshot struct {
 	Proto     int         `json:"proto"`
+	Instance  string      `json:"instance"`
 	Draining  bool        `json:"draining"`
 	Sessions  int         `json:"sessions"`
 	Live      int         `json:"live_queries"`
 	Server    Counters    `json:"server"`
+	Replay    ReplayStats `json:"replay"`
 	Scheduler sched.Stats `json:"scheduler"`
 }
 
@@ -615,12 +677,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	snap := MetricsSnapshot{
 		Proto:    ProtoVersion,
+		Instance: s.instance,
 		Draining: s.draining,
 		Live:     len(s.live),
 		Server:   s.counters,
 	}
 	s.mu.Unlock()
 	snap.Sessions = s.sessions.count()
+	snap.Replay = s.sessions.replayStats()
 	snap.Scheduler = s.db.SchedulerStats()
 	writeJSON(w, snap)
 }
@@ -634,9 +698,34 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz is GET /healthz.
+// handleHealthz is GET /healthz (legacy; kept for existing probes —
+// /v1/health and /v1/ready are the split liveness/readiness pair).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"ok": true, "draining": s.Draining()})
+}
+
+// handleHealth is GET /v1/health: pure liveness. It answers 200 as
+// long as the process can serve HTTP at all — through drain, until
+// Shutdown closes the listener. "Alive but not ready" is exactly the
+// drain window, and conflating the two is how balancers kill
+// instances that are finishing in-flight work.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"ok": true, "instance": s.instance})
+}
+
+// handleReady is GET /v1/ready: readiness for new queries. It flips to
+// 503 the moment Drain begins — before the listener closes — so
+// balancers and failover clients stop routing here while in-flight
+// work finishes. A half-open circuit breaker probes this endpoint: a
+// 200 means the instance (possibly a restarted successor) is taking
+// queries again.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	draining := s.Draining()
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, map[string]any{"ready": !draining, "draining": draining, "instance": s.instance})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

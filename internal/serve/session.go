@@ -54,6 +54,8 @@ type session struct {
 	replay      map[string]*queryRecord
 	order       []string // replay insertion order, for eviction
 	replayBytes int64    // recorded frame bytes across finished records
+	hits        int64    // replays served from this session's records
+	evictions   int64    // finished records evicted by cap or budget
 }
 
 // sessions is the registry. All methods are safe for concurrent use.
@@ -63,6 +65,10 @@ type sessions struct {
 	idle      time.Duration
 	replayCap int
 	bytesCap  int64
+	// Aggregate replay counters survive session expiry, so /metrics
+	// totals do not shrink when the janitor sweeps.
+	totalHits      int64
+	totalEvictions int64
 }
 
 func newSessions(idle time.Duration, replayCap int, bytesCap int64) *sessions {
@@ -114,24 +120,26 @@ func (ss *sessions) beginQuery(s *session, queryID string) (*queryRecord, bool) 
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if rec, ok := s.replay[queryID]; ok {
+		s.hits++
+		ss.totalHits++
 		return rec, false
 	}
 	rec := &queryRecord{done: make(chan struct{})}
 	s.replay[queryID] = rec
 	s.order = append(s.order, queryID)
-	s.evictLocked(ss.replayCap, ss.bytesCap)
+	ss.totalEvictions += s.evictLocked(ss.replayCap, ss.bytesCap)
 	return rec, true
 }
 
 // evictLocked drops oldest *finished* records until the session holds
 // at most maxRecords replay records and at most maxBytes recorded
-// frame bytes. In-flight records (done not yet closed) are never
-// evicted — dropping one would let a retry arriving after the eviction
-// execute concurrently with the original, breaking the exactly-once
-// invariant — so the caps can be transiently exceeded while queries
-// are in flight. Callers hold ss.mu.
-func (s *session) evictLocked(maxRecords int, maxBytes int64) {
-	i := 0
+// frame bytes, returning the number evicted. In-flight records (done
+// not yet closed) are never evicted — dropping one would let a retry
+// arriving after the eviction execute concurrently with the original,
+// breaking the exactly-once invariant — so the caps can be transiently
+// exceeded while queries are in flight. Callers hold ss.mu.
+func (s *session) evictLocked(maxRecords int, maxBytes int64) int64 {
+	i, evicted := 0, int64(0)
 	for (len(s.order) > maxRecords || s.replayBytes > maxBytes) && i < len(s.order) {
 		rec := s.replay[s.order[i]]
 		select {
@@ -143,7 +151,10 @@ func (s *session) evictLocked(maxRecords int, maxBytes int64) {
 		delete(s.replay, s.order[i])
 		s.replayBytes -= int64(len(rec.frames))
 		s.order = append(s.order[:i], s.order[i+1:]...)
+		evicted++
 	}
+	s.evictions += evicted
+	return evicted
 }
 
 // finish publishes a record's response bytes and wakes replayers.
@@ -170,7 +181,7 @@ func (ss *sessions) finishQuery(s *session, queryID string, rec *queryRecord, fr
 	close(rec.done)
 	if queryID != "" {
 		ss.mu.Lock()
-		s.evictLocked(ss.replayCap, ss.bytesCap)
+		ss.totalEvictions += s.evictLocked(ss.replayCap, ss.bytesCap)
 		ss.mu.Unlock()
 	}
 }
@@ -219,6 +230,25 @@ func (ss *sessions) execCount(id, queryID string) int {
 	return rec.execs
 }
 
+// execCounts reports every tracked query ID's execution count under a
+// session, as a pure read (unknown session reports nil).
+func (ss *sessions) execCounts(id string) map[string]int {
+	if id == "" {
+		id = "default"
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	s := ss.byID[id]
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]int, len(s.replay))
+	for qid, rec := range s.replay {
+		out[qid] = rec.execs
+	}
+	return out
+}
+
 // trackDataset/trackJoin note catalog objects the session created, so
 // expiry can drop them.
 func (ss *sessions) trackDataset(s *session, name string) {
@@ -249,13 +279,18 @@ func (ss *sessions) untrackJoin(name string) {
 }
 
 // expired removes and returns every session idle past the deadline, in
-// deterministic (sorted) order so sweep side effects replay stably.
+// deterministic (sorted) order so sweep side effects replay stably. A
+// session holding any in-flight replay record is never expired — the
+// mirror of the eviction rule: dropping the session would orphan the
+// record, so a retry arriving mid-execution would re-execute the query
+// concurrently with the original. Such a session is retried on the
+// next sweep, by which point the query has settled.
 func (ss *sessions) expired(now time.Time) []*session {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	var ids []string
 	for id, s := range ss.byID {
-		if now.Sub(s.lastUsed) >= ss.idle {
+		if now.Sub(s.lastUsed) >= ss.idle && !s.inFlightLocked() {
 			ids = append(ids, id)
 		}
 	}
@@ -266,4 +301,66 @@ func (ss *sessions) expired(now time.Time) []*session {
 		delete(ss.byID, id)
 	}
 	return out
+}
+
+// inFlightLocked reports whether any replay record is still executing.
+// Callers hold ss.mu.
+func (s *session) inFlightLocked() bool {
+	for _, rec := range s.replay {
+		select {
+		case <-rec.done:
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaySessionStats is one session's replay-cache footprint in a
+// metrics snapshot.
+type ReplaySessionStats struct {
+	Session   string `json:"session"`
+	Records   int    `json:"records"`
+	Bytes     int64  `json:"bytes"`
+	Hits      int64  `json:"hits"`
+	Evictions int64  `json:"evictions"`
+}
+
+// ReplayStats is the replay cache's aggregate view for /metrics: live
+// totals plus the configured budgets they are charged against, and
+// lifetime hit/eviction counters that survive session expiry.
+type ReplayStats struct {
+	Records     int                  `json:"records"`
+	Bytes       int64                `json:"bytes"`
+	BytesBudget int64                `json:"bytes_budget"`
+	RecordCap   int                  `json:"record_cap"`
+	Hits        int64                `json:"hits"`
+	Evictions   int64                `json:"evictions"`
+	Sessions    []ReplaySessionStats `json:"sessions,omitempty"`
+}
+
+// replayStats snapshots the replay cache across all live sessions,
+// per-session entries sorted by session ID for stable output.
+func (ss *sessions) replayStats() ReplayStats {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	st := ReplayStats{
+		BytesBudget: ss.bytesCap,
+		RecordCap:   ss.replayCap,
+		Hits:        ss.totalHits,
+		Evictions:   ss.totalEvictions,
+	}
+	for _, s := range ss.byID {
+		st.Records += len(s.replay)
+		st.Bytes += s.replayBytes
+		st.Sessions = append(st.Sessions, ReplaySessionStats{
+			Session:   s.id,
+			Records:   len(s.replay),
+			Bytes:     s.replayBytes,
+			Hits:      s.hits,
+			Evictions: s.evictions,
+		})
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].Session < st.Sessions[j].Session })
+	return st
 }

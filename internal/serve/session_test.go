@@ -192,6 +192,97 @@ func TestSessionExpiry(t *testing.T) {
 	}
 }
 
+func TestSessionExpirySkipsInFlight(t *testing.T) {
+	ss := newSessions(time.Minute, 4, 0)
+	sess := ss.touch("s1", sessionEpoch)
+	rec, first := ss.beginQuery(sess, "q1")
+	if !first {
+		t.Fatal("first arrival must execute")
+	}
+	// Idle past the deadline but holding an in-flight record: the sweep
+	// must skip the session (the mirror of the eviction rule — dropping
+	// it would orphan the record, and a retry would execute q1
+	// concurrently with the original).
+	if got := ss.expired(sessionEpoch.Add(2 * time.Minute)); len(got) != 0 {
+		t.Fatalf("expired %d sessions with a query in flight, want 0", len(got))
+	}
+	if ss.count() != 1 {
+		t.Fatal("in-flight session was dropped by expiry")
+	}
+	// A retry during the window still replays against the same record.
+	if again, first := ss.beginQuery(sess, "q1"); first || again != rec {
+		t.Fatal("retry across an expiry sweep must share the in-flight record")
+	}
+	// Once the query settles, the next sweep takes the session.
+	ss.finishQuery(sess, "q1", rec, []byte("r"))
+	if got := ss.expired(sessionEpoch.Add(2 * time.Minute)); len(got) != 1 {
+		t.Fatalf("expired %d sessions after settle, want 1", len(got))
+	}
+}
+
+func TestSessionRetryJustAfterExpiryReExecutes(t *testing.T) {
+	ss := newSessions(time.Minute, 4, 0)
+	sess := ss.touch("s1", sessionEpoch)
+	rec, _ := ss.beginQuery(sess, "q1")
+	ss.finishQuery(sess, "q1", rec, []byte("r"))
+	if got := ss.expired(sessionEpoch.Add(time.Minute)); len(got) != 1 {
+		t.Fatalf("expired %d sessions, want 1", len(got))
+	}
+	// A retry arriving just after expiry finds a fresh session: it must
+	// re-execute cleanly (fresh record, execs from zero), never error or
+	// see the dead session's record.
+	sess2 := ss.touch("s1", sessionEpoch.Add(61*time.Second))
+	again, first := ss.beginQuery(sess2, "q1")
+	if !first {
+		t.Fatal("retry after expiry must re-execute")
+	}
+	if again == rec {
+		t.Fatal("retry after expiry must not see the expired record")
+	}
+	if again.execs != 0 {
+		t.Fatalf("fresh record execs = %d, want 0", again.execs)
+	}
+}
+
+func TestSessionReplayStats(t *testing.T) {
+	ss := newSessions(time.Minute, 2, 0)
+	sess := ss.touch("s1", sessionEpoch)
+	for i := 0; i < 3; i++ {
+		rec, _ := ss.beginQuery(sess, fmt.Sprintf("q%d", i))
+		ss.finishQuery(sess, fmt.Sprintf("q%d", i), rec, []byte("abcd"))
+	}
+	// Cap 2: q0 was evicted. A replay of q2 is a hit.
+	if _, first := ss.beginQuery(sess, "q2"); first {
+		t.Fatal("q2 must replay")
+	}
+	st := ss.replayStats()
+	if st.Records != 2 || st.Bytes != 8 {
+		t.Fatalf("records=%d bytes=%d, want 2/8", st.Records, st.Bytes)
+	}
+	if st.Hits != 1 || st.Evictions != 1 {
+		t.Fatalf("hits=%d evictions=%d, want 1/1", st.Hits, st.Evictions)
+	}
+	if st.RecordCap != 2 || st.BytesBudget != DefaultReplayBytes {
+		t.Fatalf("caps %d/%d not surfaced", st.RecordCap, st.BytesBudget)
+	}
+	if len(st.Sessions) != 1 || st.Sessions[0].Session != "s1" ||
+		st.Sessions[0].Records != 2 || st.Sessions[0].Hits != 1 || st.Sessions[0].Evictions != 1 {
+		t.Fatalf("per-session stats %+v", st.Sessions)
+	}
+	// Aggregate hit/eviction counters survive session expiry; the live
+	// record/byte totals shrink with it.
+	if got := ss.expired(sessionEpoch.Add(2 * time.Minute)); len(got) != 1 {
+		t.Fatalf("expired %d sessions, want 1", len(got))
+	}
+	st = ss.replayStats()
+	if st.Records != 0 || st.Bytes != 0 || len(st.Sessions) != 0 {
+		t.Fatalf("live totals survived expiry: %+v", st)
+	}
+	if st.Hits != 1 || st.Evictions != 1 {
+		t.Fatalf("lifetime counters lost at expiry: hits=%d evictions=%d", st.Hits, st.Evictions)
+	}
+}
+
 func TestSessionUntrackJoinAcrossSessions(t *testing.T) {
 	ss := newSessions(time.Minute, 4, 0)
 	a := ss.touch("a", sessionEpoch)

@@ -81,14 +81,25 @@ func (l *Local) DB() *fudj.DB { return l.db }
 // Close implements Executor.
 func (l *Local) Close() error { return nil }
 
-// Remote is the network Executor: statements travel to a fudjd server
-// through the retrying client.
-type Remote struct {
-	c *client.Client
+// Conn is the connection surface Remote needs — satisfied by both
+// *client.Client (one server) and *client.Pool (failover across
+// several), so the shell is indifferent to how many instances stand
+// behind its prompt.
+type Conn interface {
+	Query(ctx context.Context, sql string, opts ...client.QueryOption) (*client.Result, error)
+	Metrics(ctx context.Context) (serve.MetricsSnapshot, error)
+	Catalog(ctx context.Context) (datasets, joins []string, err error)
+	Close()
 }
 
-// NewRemote wraps a connected client.
-func NewRemote(c *client.Client) *Remote { return &Remote{c: c} }
+// Remote is the network Executor: statements travel to one or more
+// fudjd servers through the retrying client or failover pool.
+type Remote struct {
+	c Conn
+}
+
+// NewRemote wraps a connected client or pool.
+func NewRemote(c Conn) *Remote { return &Remote{c: c} }
 
 // Execute implements Executor.
 func (r *Remote) Execute(ctx context.Context, sql string, traced bool) (*Outcome, error) {

@@ -282,9 +282,12 @@ func Repl(ex Executor, in io.Reader, out io.Writer, c *Canceler) error {
 				if err != nil {
 					fmt.Fprintln(out, "error:", err)
 				} else {
-					fmt.Fprintf(out, "sessions=%d live=%d draining=%v queries=%d executed=%d replayed=%d refused=%d\n",
-						snap.Sessions, snap.Live, snap.Draining, snap.Server.Queries,
+					fmt.Fprintf(out, "instance=%s sessions=%d live=%d draining=%v queries=%d executed=%d replayed=%d refused=%d\n",
+						snap.Instance, snap.Sessions, snap.Live, snap.Draining, snap.Server.Queries,
 						snap.Server.Executed, snap.Server.Replayed, snap.Server.Refused)
+					fmt.Fprintf(out, "replay: records=%d bytes=%d/%d hits=%d evictions=%d\n",
+						snap.Replay.Records, snap.Replay.Bytes, snap.Replay.BytesBudget,
+						snap.Replay.Hits, snap.Replay.Evictions)
 				}
 			} else {
 				fmt.Fprintln(out, "\\metrics requires -connect")
